@@ -1,0 +1,27 @@
+//! Criterion bench behind Figure 4: host cost of interval vs detailed
+//! simulation under each component-isolation configuration.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use iss_sim::experiments::Fig4Variant;
+use iss_sim::runner::{run, CoreModel};
+use iss_sim::workload::WorkloadSpec;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4_components");
+    group.sample_size(10);
+    let spec = WorkloadSpec::single("gcc", 20_000);
+    for variant in Fig4Variant::all() {
+        let config = variant.config();
+        for model in [CoreModel::Interval, CoreModel::Detailed] {
+            group.bench_with_input(
+                BenchmarkId::new(variant.label().replace(' ', "_"), model.name()),
+                &model,
+                |b, &model| b.iter(|| run(model, &config, &spec, 42)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Criterion bench behind Figure 5: interval vs detailed host cost on
+//! representative single-threaded SPEC profiles.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use iss_sim::config::SystemConfig;
+use iss_sim::runner::{run, CoreModel};
+use iss_sim::workload::WorkloadSpec;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_single_thread");
+    group.sample_size(10);
+    let config = SystemConfig::hpca2010_baseline(1);
+    for bench_name in ["gcc", "mcf", "swim"] {
+        let spec = WorkloadSpec::single(bench_name, 20_000);
+        for model in [CoreModel::Interval, CoreModel::Detailed, CoreModel::OneIpc] {
+            group.bench_with_input(
+                BenchmarkId::new(bench_name, model.name()),
+                &model,
+                |b, &model| b.iter(|| run(model, &config, &spec, 42)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Criterion bench behind Figure 6: interval vs detailed host cost on
+//! homogeneous multi-program workloads of increasing size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use iss_sim::config::SystemConfig;
+use iss_sim::runner::{run, CoreModel};
+use iss_sim::workload::WorkloadSpec;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_multiprogram");
+    group.sample_size(10);
+    for copies in [2usize, 4] {
+        let config = SystemConfig::hpca2010_baseline(copies);
+        let spec = WorkloadSpec::homogeneous("mcf", copies, 10_000);
+        for model in [CoreModel::Interval, CoreModel::Detailed] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("mcfx{copies}"), model.name()),
+                &model,
+                |b, &model| b.iter(|| run(model, &config, &spec, 42)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

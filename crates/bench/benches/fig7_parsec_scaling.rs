@@ -1,0 +1,27 @@
+//! Criterion bench behind Figure 7: interval vs detailed host cost on
+//! multi-threaded PARSEC workloads across core counts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use iss_sim::config::SystemConfig;
+use iss_sim::runner::{run, CoreModel};
+use iss_sim::workload::WorkloadSpec;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7_parsec_scaling");
+    group.sample_size(10);
+    for cores in [1usize, 2, 4] {
+        let config = SystemConfig::hpca2010_baseline(cores);
+        let spec = WorkloadSpec::multithreaded("fluidanimate", cores, 40_000);
+        for model in [CoreModel::Interval, CoreModel::Detailed] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("fluidanimate_{cores}c"), model.name()),
+                &model,
+                |b, &model| b.iter(|| run(model, &config, &spec, 42)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

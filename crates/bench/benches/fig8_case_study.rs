@@ -1,0 +1,28 @@
+//! Criterion bench behind Figure 8: host cost of evaluating the two
+//! 3D-stacking design points under each model.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use iss_sim::config::SystemConfig;
+use iss_sim::runner::{run, CoreModel};
+use iss_sim::workload::WorkloadSpec;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8_case_study");
+    group.sample_size(10);
+    let designs = [
+        ("2c_l2", SystemConfig::fig8_dual_core_l2(), 2usize),
+        ("4c_3d", SystemConfig::fig8_quad_core_3d(), 4usize),
+    ];
+    for (label, config, cores) in designs {
+        let spec = WorkloadSpec::multithreaded("canneal", cores, 40_000);
+        for model in [CoreModel::Interval, CoreModel::Detailed] {
+            group.bench_with_input(BenchmarkId::new(label, model.name()), &model, |b, &model| {
+                b.iter(|| run(model, &config, &spec, 42))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Criterion bench behind Figures 9 and 10: the raw simulation-speed
+//! comparison (simulated instructions per host second) of the interval model
+//! versus detailed simulation, for both multi-program SPEC and multi-threaded
+//! PARSEC workloads on a quad-core configuration.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use iss_sim::config::SystemConfig;
+use iss_sim::runner::{run, CoreModel};
+use iss_sim::workload::WorkloadSpec;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9_fig10_speedup");
+    group.sample_size(10);
+    let config = SystemConfig::hpca2010_baseline(4);
+    let workloads = [
+        ("spec_gcc_x4", WorkloadSpec::homogeneous("gcc", 4, 10_000), 40_000u64),
+        ("parsec_vips_4t", WorkloadSpec::multithreaded("vips", 4, 40_000), 40_000u64),
+    ];
+    for (label, spec, instructions) in workloads {
+        group.throughput(Throughput::Elements(instructions));
+        for model in [CoreModel::Interval, CoreModel::Detailed, CoreModel::OneIpc] {
+            group.bench_with_input(BenchmarkId::new(label, model.name()), &model, |b, &model| {
+                b.iter(|| run(model, &config, &spec, 42))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Ablation study over the interval model's design choices: second-order
+//! overlap modeling, the old-window reset on miss events, and the one-IPC
+//! simplification, all measured against detailed simulation.
+
+use iss_bench::{scale_from_env, SPEC_QUICK};
+use iss_sim::experiments::ablation;
+use iss_sim::metrics;
+
+fn main() {
+    let rows = ablation(&SPEC_QUICK, scale_from_env());
+    println!("Ablation — relative IPC error against detailed simulation");
+    println!(
+        "{:<10} {:>10} {:>12} {:>14} {:>14} {:>10}",
+        "benchmark", "detailed", "interval", "no-overlap", "no-ow-reset", "one-IPC"
+    );
+    let mut per_variant = vec![Vec::new(); 4];
+    for r in &rows {
+        let e = r.errors();
+        for (v, err) in e.iter().enumerate() {
+            per_variant[v].push(*err);
+        }
+        println!(
+            "{:<10} {:>10.3} {:>11.1}% {:>13.1}% {:>13.1}% {:>9.1}%",
+            r.benchmark,
+            r.detailed_ipc,
+            e[0] * 100.0,
+            e[1] * 100.0,
+            e[2] * 100.0,
+            e[3] * 100.0
+        );
+    }
+    println!(
+        "average errors: interval {:.1}%, no-overlap {:.1}%, no-ow-reset {:.1}%, one-IPC {:.1}%",
+        metrics::mean(&per_variant[0]) * 100.0,
+        metrics::mean(&per_variant[1]) * 100.0,
+        metrics::mean(&per_variant[2]) * 100.0,
+        metrics::mean(&per_variant[3]) * 100.0
+    );
+}

@@ -1,0 +1,31 @@
+//! Regenerates Figure 4: component-wise accuracy of interval simulation.
+//!
+//! Usage: `fig4 [a|b|c|d|all] [--all-benchmarks]`
+
+use iss_bench::{scale_from_env, SPEC_QUICK};
+use iss_sim::experiments::{fig4, Fig4Variant};
+use iss_sim::report::format_accuracy_table;
+use iss_trace::catalog::SPEC_CPU2000;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let which = args.get(1).map(String::as_str).unwrap_or("all");
+    let all_benchmarks = args.iter().any(|a| a == "--all-benchmarks");
+    let benchmarks: Vec<&str> = if all_benchmarks {
+        SPEC_CPU2000.to_vec()
+    } else {
+        SPEC_QUICK.to_vec()
+    };
+    let scale = scale_from_env();
+    let variants: Vec<Fig4Variant> = match which {
+        "a" => vec![Fig4Variant::EffectiveDispatchRate],
+        "b" => vec![Fig4Variant::ICache],
+        "c" => vec![Fig4Variant::BranchPrediction],
+        "d" => vec![Fig4Variant::L2Cache],
+        _ => Fig4Variant::all().to_vec(),
+    };
+    for v in variants {
+        let rows = fig4(v, &benchmarks, scale);
+        println!("{}", format_accuracy_table(&format!("Figure 4 ({})", v.label()), &rows));
+    }
+}

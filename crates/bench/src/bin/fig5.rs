@@ -1,0 +1,16 @@
+//! Regenerates Figure 5: single-threaded IPC, detailed vs interval.
+
+use iss_bench::{scale_from_env, SPEC_QUICK};
+use iss_sim::experiments::fig5;
+use iss_sim::report::format_accuracy_table;
+use iss_trace::catalog::SPEC_CPU2000;
+
+fn main() {
+    let all = std::env::args().any(|a| a == "--all-benchmarks");
+    let benchmarks: Vec<&str> = if all { SPEC_CPU2000.to_vec() } else { SPEC_QUICK.to_vec() };
+    let rows = fig5(&benchmarks, scale_from_env());
+    println!(
+        "{}",
+        format_accuracy_table("Figure 5 — single-threaded SPEC CPU accuracy", &rows)
+    );
+}

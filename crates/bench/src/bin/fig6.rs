@@ -1,0 +1,12 @@
+//! Regenerates Figure 6: STP and ANTT of homogeneous multi-program workloads.
+
+use iss_bench::{scale_from_env, CORE_COUNTS};
+use iss_sim::experiments::fig6;
+use iss_sim::report::format_fig6_table;
+use iss_trace::catalog::FIG6_BENCHMARKS;
+
+fn main() {
+    let rows = fig6(&FIG6_BENCHMARKS, &CORE_COUNTS, scale_from_env());
+    println!("Figure 6 — multi-program SPEC workloads (STP and ANTT vs copies)");
+    println!("{}", format_fig6_table(&rows));
+}

@@ -1,0 +1,14 @@
+//! Regenerates Figure 7: PARSEC normalized execution time vs core count.
+
+use iss_bench::{scale_from_env, CORE_COUNTS, PARSEC_QUICK};
+use iss_sim::experiments::fig7;
+use iss_sim::report::format_fig7_table;
+use iss_trace::catalog::PARSEC;
+
+fn main() {
+    let all = std::env::args().any(|a| a == "--all-benchmarks");
+    let benchmarks: Vec<&str> = if all { PARSEC.to_vec() } else { PARSEC_QUICK.to_vec() };
+    let rows = fig7(&benchmarks, &CORE_COUNTS, scale_from_env());
+    println!("Figure 7 — multi-threaded PARSEC workloads (normalized execution time)");
+    println!("{}", format_fig7_table(&rows));
+}

@@ -1,0 +1,14 @@
+//! Regenerates Figure 9: simulation speedup for SPEC multi-program workloads.
+
+use iss_bench::{scale_from_env, CORE_COUNTS, SPEC_QUICK};
+use iss_sim::experiments::fig9;
+use iss_sim::report::format_speedup_table;
+use iss_trace::catalog::SPEC_CPU2000;
+
+fn main() {
+    let all = std::env::args().any(|a| a == "--all-benchmarks");
+    let benchmarks: Vec<&str> = if all { SPEC_CPU2000.to_vec() } else { SPEC_QUICK.to_vec() };
+    let rows = fig9(&benchmarks, &CORE_COUNTS, scale_from_env());
+    println!("Figure 9 — simulation speedup over detailed simulation (SPEC multi-program)");
+    println!("{}", format_speedup_table(&rows));
+}

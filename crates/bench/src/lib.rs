@@ -1,0 +1,68 @@
+//! # iss-bench — figure regeneration and performance benchmarks
+//!
+//! One binary per figure/table of the paper (`fig4` .. `fig10`, `table1`)
+//! prints the rows the corresponding figure plots; the Criterion benches
+//! under `benches/` measure the host-side cost of interval vs detailed
+//! simulation (the quantity behind Figures 9 and 10).
+//!
+//! The instruction budget of the binaries is controlled by the
+//! `ISS_EXPERIMENT_SCALE` environment variable: `quick` (default for CI
+//! smoke runs), `full` (the paper-style runs), or a number of instructions
+//! per benchmark.
+
+use iss_sim::experiments::ExperimentScale;
+
+/// Reads the experiment scale from `ISS_EXPERIMENT_SCALE`.
+///
+/// Accepted values: `quick`, `full`, or an integer instruction count per
+/// SPEC benchmark (PARSEC workloads get twice that budget). Unknown values
+/// fall back to `quick`.
+#[must_use]
+pub fn scale_from_env() -> ExperimentScale {
+    match std::env::var("ISS_EXPERIMENT_SCALE") {
+        Ok(v) if v.eq_ignore_ascii_case("full") => ExperimentScale::full(),
+        Ok(v) if v.eq_ignore_ascii_case("quick") => ExperimentScale::quick(),
+        Ok(v) => match v.parse::<u64>() {
+            Ok(n) if n > 0 => ExperimentScale {
+                spec_length: n,
+                parsec_length: n * 2,
+                seed: 42,
+            },
+            _ => ExperimentScale::quick(),
+        },
+        Err(_) => ExperimentScale::quick(),
+    }
+}
+
+/// The subset of SPEC benchmarks used when a binary is asked for a quick run
+/// (one representative per behaviour class).
+pub const SPEC_QUICK: [&str; 6] = ["gcc", "gzip", "mcf", "twolf", "swim", "mesa"];
+
+/// The subset of PARSEC benchmarks used for quick runs.
+pub const PARSEC_QUICK: [&str; 4] = ["blackscholes", "canneal", "fluidanimate", "vips"];
+
+/// Core counts swept by the multi-core figures.
+pub const CORE_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_scale_parses_known_values() {
+        // The environment is not modified here (tests may run concurrently);
+        // only the default path is exercised.
+        let s = scale_from_env();
+        assert!(s.spec_length > 0 && s.parsec_length > 0);
+    }
+
+    #[test]
+    fn quick_subsets_exist_in_catalog() {
+        for b in SPEC_QUICK {
+            assert!(iss_trace::catalog::spec_profile(b).is_some(), "{b} missing");
+        }
+        for b in PARSEC_QUICK {
+            assert!(iss_trace::catalog::parsec_profile(b).is_some(), "{b} missing");
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! Return address stack (RAS).
+//!
+//! Calls push their fall-through address; returns pop it. The structure is a
+//! fixed-size circular stack: overflow silently wraps (overwriting the oldest
+//! entry) and underflow returns no prediction, both of which cause target
+//! mispredictions on deeply recursive code — exactly the behaviour of the
+//! 32-entry RAS in the paper's baseline configuration.
+
+/// Fixed-capacity circular return address stack.
+#[derive(Debug, Clone)]
+pub struct ReturnAddressStack {
+    entries: Vec<u64>,
+    capacity: usize,
+    /// Index of the next push slot.
+    top: usize,
+    /// Number of valid entries (saturates at `capacity`).
+    valid: usize,
+}
+
+impl ReturnAddressStack {
+    /// Creates a RAS with `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "RAS capacity must be non-zero");
+        ReturnAddressStack {
+            entries: vec![0; capacity],
+            capacity,
+            top: 0,
+            valid: 0,
+        }
+    }
+
+    /// Pushes a return address (on a call).
+    pub fn push(&mut self, return_address: u64) {
+        self.entries[self.top] = return_address;
+        self.top = (self.top + 1) % self.capacity;
+        self.valid = (self.valid + 1).min(self.capacity);
+    }
+
+    /// Pops the predicted return address (on a return), or `None` when the
+    /// stack has underflowed.
+    pub fn pop(&mut self) -> Option<u64> {
+        if self.valid == 0 {
+            return None;
+        }
+        self.top = (self.top + self.capacity - 1) % self.capacity;
+        self.valid -= 1;
+        Some(self.entries[self.top])
+    }
+
+    /// Returns the address on top of the stack without popping it.
+    #[must_use]
+    pub fn peek(&self) -> Option<u64> {
+        if self.valid == 0 {
+            None
+        } else {
+            let idx = (self.top + self.capacity - 1) % self.capacity;
+            Some(self.entries[idx])
+        }
+    }
+
+    /// Number of valid entries currently on the stack.
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        self.valid
+    }
+
+    /// Maximum number of entries.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_pop_is_lifo() {
+        let mut ras = ReturnAddressStack::new(32);
+        ras.push(0x100);
+        ras.push(0x200);
+        assert_eq!(ras.pop(), Some(0x200));
+        assert_eq!(ras.pop(), Some(0x100));
+        assert_eq!(ras.pop(), None);
+    }
+
+    #[test]
+    fn underflow_returns_none() {
+        let mut ras = ReturnAddressStack::new(4);
+        assert_eq!(ras.pop(), None);
+        assert_eq!(ras.depth(), 0);
+    }
+
+    #[test]
+    fn overflow_wraps_and_loses_oldest() {
+        let mut ras = ReturnAddressStack::new(2);
+        ras.push(1);
+        ras.push(2);
+        ras.push(3); // overwrites 1
+        assert_eq!(ras.depth(), 2);
+        assert_eq!(ras.pop(), Some(3));
+        assert_eq!(ras.pop(), Some(2));
+        assert_eq!(ras.pop(), None, "the overwritten entry must not reappear");
+    }
+
+    #[test]
+    fn depth_saturates_at_capacity() {
+        let mut ras = ReturnAddressStack::new(3);
+        for i in 0..10 {
+            ras.push(i);
+        }
+        assert_eq!(ras.depth(), 3);
+        assert_eq!(ras.capacity(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_capacity_panics() {
+        let _ = ReturnAddressStack::new(0);
+    }
+}

@@ -1,0 +1,282 @@
+//! The ROB-sized look-ahead window of the interval simulator.
+//!
+//! The functional front-end inserts instructions at the tail; the core model
+//! consumes them at the head. The window exists to model *second-order*
+//! overlap effects: when a long-latency load blocks the head, the instructions
+//! behind it in the window that are independent of the load have their own
+//! miss events (I-cache misses, branch mispredictions, further long-latency
+//! loads) resolved underneath the blocking load, so they must not be charged
+//! again when they reach the head. The `*_overlapped` flags record exactly
+//! that.
+
+use std::collections::VecDeque;
+
+use iss_trace::{DynInst, RegId};
+
+/// One instruction in flight in the look-ahead window.
+#[derive(Debug, Clone)]
+pub struct WindowEntry {
+    /// The dynamic instruction.
+    pub inst: DynInst,
+    /// The I-cache/I-TLB access for this instruction already happened under a
+    /// long-latency load; do not charge it again at the head.
+    pub i_overlapped: bool,
+    /// The branch was already predicted under a long-latency load.
+    pub br_overlapped: bool,
+    /// The data access was already performed under a long-latency load.
+    pub d_overlapped: bool,
+}
+
+impl WindowEntry {
+    /// Wraps an instruction with cleared overlap flags.
+    #[must_use]
+    pub fn new(inst: DynInst) -> Self {
+        WindowEntry {
+            inst,
+            i_overlapped: false,
+            br_overlapped: false,
+            d_overlapped: false,
+        }
+    }
+}
+
+/// Fixed-capacity FIFO of in-flight instructions (the simulated ROB contents).
+#[derive(Debug, Clone)]
+pub struct Window {
+    entries: VecDeque<WindowEntry>,
+    capacity: usize,
+}
+
+impl Window {
+    /// Creates an empty window with room for `capacity` instructions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "window capacity must be non-zero");
+        Window {
+            entries: VecDeque::with_capacity(capacity),
+            capacity,
+        }
+    }
+
+    /// Maximum number of instructions the window can hold.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current number of instructions in the window.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the window is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Whether the window has room for another instruction.
+    #[must_use]
+    pub fn has_room(&self) -> bool {
+        self.entries.len() < self.capacity
+    }
+
+    /// Inserts an instruction at the tail.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window is full.
+    pub fn push_tail(&mut self, inst: DynInst) {
+        assert!(self.has_room(), "window overflow");
+        self.entries.push_back(WindowEntry::new(inst));
+    }
+
+    /// The entry at the head (the next instruction the core model considers).
+    #[must_use]
+    pub fn head(&self) -> Option<&WindowEntry> {
+        self.entries.front()
+    }
+
+    /// Removes and returns the head entry.
+    pub fn pop_head(&mut self) -> Option<WindowEntry> {
+        self.entries.pop_front()
+    }
+
+    /// Iterates over the entries behind the head (head excluded), mutably —
+    /// used by the overlap scan under a long-latency load.
+    pub fn iter_behind_head_mut(&mut self) -> impl Iterator<Item = &mut WindowEntry> {
+        self.entries.iter_mut().skip(1)
+    }
+
+    /// Iterates over all entries from head to tail.
+    pub fn iter(&self) -> impl Iterator<Item = &WindowEntry> {
+        self.entries.iter()
+    }
+}
+
+/// Tracks transitive register/memory dependences on a long-latency load
+/// during the overlap scan. Instructions that depend (directly or through
+/// other instructions) on the blocking load cannot execute underneath it.
+#[derive(Debug, Clone, Default)]
+pub struct DependenceTracker {
+    poisoned_regs: Vec<RegId>,
+    poisoned_lines: Vec<u64>,
+}
+
+const LINE_SHIFT: u32 = 6;
+
+impl DependenceTracker {
+    /// Starts tracking from the blocking long-latency load.
+    #[must_use]
+    pub fn rooted_at(load: &DynInst) -> Self {
+        let mut t = DependenceTracker::default();
+        if let Some(dst) = load.dst {
+            t.poisoned_regs.push(dst);
+        }
+        t
+    }
+
+    /// Whether `inst` depends (transitively) on the blocking load. When it
+    /// does, its own outputs become poisoned too.
+    pub fn depends_and_propagate(&mut self, inst: &DynInst) -> bool {
+        let mut depends = inst.src_regs().any(|r| self.poisoned_regs.contains(&r));
+        if let Some(mem) = &inst.mem {
+            if !mem.is_store && self.poisoned_lines.contains(&(mem.vaddr >> LINE_SHIFT)) {
+                depends = true;
+            }
+        }
+        if depends {
+            if let Some(dst) = inst.dst {
+                if !self.poisoned_regs.contains(&dst) {
+                    self.poisoned_regs.push(dst);
+                }
+            }
+            if let Some(mem) = &inst.mem {
+                if mem.is_store {
+                    let line = mem.vaddr >> LINE_SHIFT;
+                    if !self.poisoned_lines.contains(&line) {
+                        self.poisoned_lines.push(line);
+                    }
+                }
+            }
+        } else if let Some(dst) = inst.dst {
+            // An independent instruction that overwrites a poisoned register
+            // breaks the chain for later readers of that register.
+            self.poisoned_regs.retain(|&r| r != dst);
+        }
+        depends
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iss_trace::{MemAccess, OpClass};
+
+    fn inst(seq: u64, op: OpClass, dst: Option<RegId>, srcs: [Option<RegId>; 2]) -> DynInst {
+        DynInst {
+            seq,
+            pc: seq * 4,
+            op,
+            srcs,
+            dst,
+            mem: None,
+            branch: None,
+            sync: None,
+        }
+    }
+
+    #[test]
+    fn fifo_order_and_capacity() {
+        let mut w = Window::new(2);
+        assert!(w.is_empty() && w.has_room());
+        w.push_tail(DynInst::nop(0, 0));
+        w.push_tail(DynInst::nop(1, 4));
+        assert!(!w.has_room());
+        assert_eq!(w.len(), 2);
+        assert_eq!(w.head().unwrap().inst.seq, 0);
+        assert_eq!(w.pop_head().unwrap().inst.seq, 0);
+        assert_eq!(w.pop_head().unwrap().inst.seq, 1);
+        assert!(w.pop_head().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "window overflow")]
+    fn overflow_panics() {
+        let mut w = Window::new(1);
+        w.push_tail(DynInst::nop(0, 0));
+        w.push_tail(DynInst::nop(1, 4));
+    }
+
+    #[test]
+    fn iter_behind_head_skips_the_head() {
+        let mut w = Window::new(4);
+        for i in 0..3 {
+            w.push_tail(DynInst::nop(i, i * 4));
+        }
+        let seqs: Vec<u64> = w.iter_behind_head_mut().map(|e| e.inst.seq).collect();
+        assert_eq!(seqs, vec![1, 2]);
+    }
+
+    #[test]
+    fn new_entries_start_unoverlapped() {
+        let mut w = Window::new(4);
+        w.push_tail(DynInst::nop(0, 0));
+        let e = w.head().unwrap();
+        assert!(!e.i_overlapped && !e.br_overlapped && !e.d_overlapped);
+    }
+
+    #[test]
+    fn direct_register_dependence_detected() {
+        let load = inst(0, OpClass::Load, Some(1), [None, None]);
+        let mut t = DependenceTracker::rooted_at(&load);
+        let dependent = inst(1, OpClass::IntAlu, Some(2), [Some(1), None]);
+        let independent = inst(2, OpClass::IntAlu, Some(3), [Some(9), None]);
+        assert!(t.depends_and_propagate(&dependent));
+        assert!(!t.depends_and_propagate(&independent));
+    }
+
+    #[test]
+    fn transitive_dependence_propagates() {
+        let load = inst(0, OpClass::Load, Some(1), [None, None]);
+        let mut t = DependenceTracker::rooted_at(&load);
+        let a = inst(1, OpClass::IntAlu, Some(2), [Some(1), None]); // depends on load
+        let b = inst(2, OpClass::IntAlu, Some(3), [Some(2), None]); // depends on a
+        assert!(t.depends_and_propagate(&a));
+        assert!(t.depends_and_propagate(&b));
+    }
+
+    #[test]
+    fn overwriting_a_poisoned_register_breaks_the_chain() {
+        let load = inst(0, OpClass::Load, Some(1), [None, None]);
+        let mut t = DependenceTracker::rooted_at(&load);
+        // r1 is overwritten by an independent instruction.
+        let redef = inst(1, OpClass::IntAlu, Some(1), [Some(8), None]);
+        assert!(!t.depends_and_propagate(&redef));
+        let reader = inst(2, OpClass::IntAlu, Some(4), [Some(1), None]);
+        assert!(!t.depends_and_propagate(&reader));
+    }
+
+    #[test]
+    fn memory_dependence_through_store_load() {
+        let load = inst(0, OpClass::Load, Some(1), [None, None]);
+        let mut t = DependenceTracker::rooted_at(&load);
+        let mut store = inst(1, OpClass::Store, None, [Some(1), None]);
+        store.mem = Some(MemAccess { vaddr: 0x2000, size: 8, is_store: true, shared: false });
+        assert!(t.depends_and_propagate(&store));
+        let mut later_load = inst(2, OpClass::Load, Some(5), [None, None]);
+        later_load.mem = Some(MemAccess { vaddr: 0x2008, size: 8, is_store: false, shared: false });
+        assert!(
+            t.depends_and_propagate(&later_load),
+            "a load from the line written by a dependent store is dependent"
+        );
+        let mut other_load = inst(3, OpClass::Load, Some(6), [None, None]);
+        other_load.mem = Some(MemAccess { vaddr: 0x9000, size: 8, is_store: false, shared: false });
+        assert!(!t.depends_and_propagate(&other_load));
+    }
+}

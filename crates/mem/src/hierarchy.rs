@@ -1,0 +1,672 @@
+//! The complete multi-core memory hierarchy with MOESI coherence.
+//!
+//! Structure (Table 1 of the paper): each core owns a private L1 instruction
+//! cache, L1 data cache, I-TLB and D-TLB; all cores share one inclusive L2
+//! cache and one DRAM channel. Coherence between the private L1 data caches
+//! follows the MOESI protocol over a snooping bus: dirty lines are supplied
+//! directly cache-to-cache (the supplier keeps the line in Owned state), and
+//! stores invalidate remote copies.
+//!
+//! The hierarchy is the *miss-event oracle* of interval simulation: the
+//! interval core model calls [`MemoryHierarchy::access_instruction`] and
+//! [`MemoryHierarchy::access_data`] and only uses the returned latency and
+//! classification; the detailed model uses exactly the same calls, which is
+//! what makes the two timing models comparable.
+
+use serde::{Deserialize, Serialize};
+
+use crate::cache::{Cache, LineState};
+use crate::config::MemoryConfig;
+use crate::dram::DramModel;
+use crate::stats::{CoreMemoryStats, MemoryStats};
+use crate::tlb::Tlb;
+
+/// Where an access was satisfied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AccessLevel {
+    /// Hit in the core's private L1 (or the access was configured perfect).
+    L1,
+    /// Satisfied by the shared L2.
+    L2,
+    /// Satisfied by another core's private cache (coherence transfer).
+    RemoteCache,
+    /// Satisfied by main memory.
+    Memory,
+}
+
+/// Result of one memory access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessResponse {
+    /// Additional latency in cycles beyond the L1-hit pipeline latency.
+    pub latency: u64,
+    /// Level that satisfied the access.
+    pub level: AccessLevel,
+    /// Whether the TLB missed (page-walk latency is included in `latency`).
+    pub tlb_miss: bool,
+}
+
+impl AccessResponse {
+    /// An L1 hit with a resident translation.
+    #[must_use]
+    pub fn l1_hit() -> Self {
+        AccessResponse {
+            latency: 0,
+            level: AccessLevel::L1,
+            tlb_miss: false,
+        }
+    }
+
+    /// Whether interval analysis classifies this access as a *long-latency
+    /// load* miss event (last-level cache miss, coherence miss, or D-TLB
+    /// miss), i.e. an event that stalls dispatch when it reaches the head of
+    /// the window.
+    #[must_use]
+    pub fn is_long_latency(&self) -> bool {
+        matches!(self.level, AccessLevel::Memory | AccessLevel::RemoteCache) || self.tlb_miss
+    }
+
+    /// Whether the access missed somewhere (has any extra latency).
+    #[must_use]
+    pub fn is_miss(&self) -> bool {
+        self.latency > 0
+    }
+}
+
+/// The complete memory hierarchy shared by the cores of one simulated chip.
+#[derive(Debug)]
+pub struct MemoryHierarchy {
+    config: MemoryConfig,
+    l1i: Vec<Cache>,
+    l1d: Vec<Cache>,
+    itlb: Vec<Tlb>,
+    dtlb: Vec<Tlb>,
+    l2: Option<Cache>,
+    dram: DramModel,
+    stats: Vec<CoreMemoryStats>,
+}
+
+impl MemoryHierarchy {
+    /// Builds an empty hierarchy for `config.num_cores` cores.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails [`MemoryConfig::validate`].
+    #[must_use]
+    pub fn new(config: &MemoryConfig) -> Self {
+        config
+            .validate()
+            .unwrap_or_else(|e| panic!("invalid memory configuration: {e}"));
+        let n = config.num_cores;
+        MemoryHierarchy {
+            config: *config,
+            l1i: (0..n).map(|_| Cache::new(&config.l1i)).collect(),
+            l1d: (0..n).map(|_| Cache::new(&config.l1d)).collect(),
+            itlb: (0..n).map(|_| Tlb::new(&config.itlb)).collect(),
+            dtlb: (0..n).map(|_| Tlb::new(&config.dtlb)).collect(),
+            l2: config.l2.as_ref().map(Cache::new),
+            dram: DramModel::new(&config.dram),
+            stats: vec![CoreMemoryStats::default(); n],
+        }
+    }
+
+    /// The configuration of this hierarchy.
+    #[must_use]
+    pub fn config(&self) -> &MemoryConfig {
+        &self.config
+    }
+
+    /// Number of cores sharing the hierarchy.
+    #[must_use]
+    pub fn num_cores(&self) -> usize {
+        self.config.num_cores
+    }
+
+    /// Snapshot of the accumulated statistics.
+    #[must_use]
+    pub fn stats(&self) -> MemoryStats {
+        MemoryStats {
+            per_core: self.stats.clone(),
+            dram_transactions: self.dram.accesses(),
+            dram_queue_cycles: self.dram.total_queue_cycles(),
+            dram_average_latency: self.dram.average_latency(),
+        }
+    }
+
+    /// Coherence state of `addr` in `core`'s L1 data cache (for tests and
+    /// invariant checking).
+    #[must_use]
+    pub fn l1d_state(&self, core: usize, addr: u64) -> LineState {
+        self.l1d[core].probe(addr)
+    }
+
+    /// Checks the MOESI invariant for one line: at most one core holds the
+    /// line in a writable (M/E) or owned (O) state, and a writable copy
+    /// excludes any other valid copy.
+    #[must_use]
+    pub fn coherence_invariant_holds(&self, addr: u64) -> bool {
+        let states: Vec<LineState> = self.l1d.iter().map(|c| c.probe(addr)).collect();
+        let writable = states.iter().filter(|s| s.is_writable()).count();
+        let owners = states
+            .iter()
+            .filter(|s| matches!(s, LineState::Modified | LineState::Owned))
+            .count();
+        let valid = states.iter().filter(|s| s.is_valid()).count();
+        if writable > 1 || owners > 1 {
+            return false;
+        }
+        if writable == 1 && valid > 1 {
+            return false;
+        }
+        true
+    }
+
+    // ----------------------------------------------------------------------
+    // Instruction side
+    // ----------------------------------------------------------------------
+
+    /// Performs an instruction fetch access for `core` at `pc` in cycle
+    /// `now`; returns the extra latency and classification.
+    pub fn access_instruction(&mut self, core: usize, pc: u64, now: u64) -> AccessResponse {
+        let cfg = self.config;
+        let mut latency = 0;
+        let mut tlb_miss = false;
+        if !cfg.perfect_itlb {
+            let l = self.itlb[core].access(pc);
+            if l > 0 {
+                tlb_miss = true;
+                self.stats[core].itlb_misses += 1;
+            }
+            latency += l;
+        }
+        if cfg.perfect_l1i {
+            return AccessResponse {
+                latency,
+                level: AccessLevel::L1,
+                tlb_miss,
+            };
+        }
+        let line = self.l1i[core].line_addr(pc);
+        if self.l1i[core].access(line).is_valid() {
+            self.stats[core].l1i_hits += 1;
+            return AccessResponse {
+                latency,
+                level: AccessLevel::L1,
+                tlb_miss,
+            };
+        }
+        self.stats[core].l1i_misses += 1;
+        // Instruction lines are read-only: fill from L2/DRAM in Shared state,
+        // no coherence interaction with the data caches.
+        let (fill_latency, level) = self.read_from_l2_or_memory(core, line, now);
+        latency += fill_latency;
+        if let Some(ev) = self.l1i[core].insert(line, LineState::Shared) {
+            // Instruction lines are never dirty; nothing to write back.
+            debug_assert!(!ev.state.is_dirty());
+        }
+        AccessResponse {
+            latency,
+            level,
+            tlb_miss,
+        }
+    }
+
+    // ----------------------------------------------------------------------
+    // Data side
+    // ----------------------------------------------------------------------
+
+    /// Performs a data access (load or store) for `core` at `vaddr` in cycle
+    /// `now`; returns the extra latency and classification.
+    pub fn access_data(&mut self, core: usize, vaddr: u64, is_store: bool, now: u64) -> AccessResponse {
+        let cfg = self.config;
+        let mut latency = 0;
+        let mut tlb_miss = false;
+        if !cfg.perfect_dtlb {
+            let l = self.dtlb[core].access(vaddr);
+            if l > 0 {
+                tlb_miss = true;
+                self.stats[core].dtlb_misses += 1;
+            }
+            latency += l;
+        }
+        if cfg.perfect_l1d {
+            return AccessResponse {
+                latency,
+                level: AccessLevel::L1,
+                tlb_miss,
+            };
+        }
+
+        let line = self.l1d[core].line_addr(vaddr);
+        let state = self.l1d[core].access(line);
+
+        if state.is_valid() {
+            self.stats[core].l1d_hits += 1;
+            if is_store && !state.is_writable() {
+                // Upgrade: invalidate remote copies (S or O -> M).
+                latency += self.upgrade(core, line);
+                self.l1d[core].set_state(line, LineState::Modified);
+            } else if is_store {
+                self.l1d[core].set_state(line, LineState::Modified);
+            }
+            return AccessResponse {
+                latency,
+                level: AccessLevel::L1,
+                tlb_miss,
+            };
+        }
+
+        self.stats[core].l1d_misses += 1;
+        let (miss_latency, level) = if is_store {
+            self.handle_store_miss(core, line, now)
+        } else {
+            self.handle_load_miss(core, line, now)
+        };
+        latency += miss_latency;
+        AccessResponse {
+            latency,
+            level,
+            tlb_miss,
+        }
+    }
+
+    /// Remote cores holding the line, partitioned into (dirty owner, clean sharers).
+    fn snoop(&self, requester: usize, line: u64) -> (Option<usize>, Vec<usize>) {
+        let mut owner = None;
+        let mut sharers = Vec::new();
+        for c in 0..self.config.num_cores {
+            if c == requester {
+                continue;
+            }
+            match self.l1d[c].probe(line) {
+                LineState::Modified | LineState::Owned => owner = Some(c),
+                LineState::Exclusive | LineState::Shared => sharers.push(c),
+                LineState::Invalid => {}
+            }
+        }
+        (owner, sharers)
+    }
+
+    fn handle_load_miss(&mut self, core: usize, line: u64, now: u64) -> (u64, AccessLevel) {
+        if self.config.perfect_l2 {
+            let latency = self.config.l2.map_or(12, |l2| l2.latency);
+            self.stats[core].l2_hits += 1;
+            self.install_l1d(core, line, LineState::Shared, now);
+            return (latency, AccessLevel::L2);
+        }
+        let (owner, sharers) = self.snoop(core, line);
+        if let Some(owner_core) = owner {
+            // Dirty copy elsewhere: cache-to-cache transfer, supplier keeps the
+            // line in Owned state (MOESI avoids the memory write-back MESI
+            // would need).
+            self.stats[core].coherence_misses += 1;
+            self.l1d[owner_core].set_state(line, LineState::Owned);
+            self.install_l1d(core, line, LineState::Shared, now);
+            return (self.config.cache_to_cache_latency, AccessLevel::RemoteCache);
+        }
+        // Clean sharers (if any) simply downgrade to Shared; data comes from
+        // the L2 or memory.
+        let has_sharers = !sharers.is_empty();
+        for s in sharers {
+            self.l1d[s].set_state(line, LineState::Shared);
+        }
+        let (latency, level) = self.read_from_l2_or_memory(core, line, now);
+        let new_state = if has_sharers { LineState::Shared } else { LineState::Exclusive };
+        self.install_l1d(core, line, new_state, now);
+        (latency, level)
+    }
+
+    fn handle_store_miss(&mut self, core: usize, line: u64, now: u64) -> (u64, AccessLevel) {
+        if self.config.perfect_l2 {
+            let latency = self.config.l2.map_or(12, |l2| l2.latency);
+            self.stats[core].l2_hits += 1;
+            self.install_l1d(core, line, LineState::Modified, now);
+            return (latency, AccessLevel::L2);
+        }
+        let (owner, sharers) = self.snoop(core, line);
+        // Read-for-ownership: every remote copy is invalidated.
+        for s in &sharers {
+            self.l1d[*s].set_state(line, LineState::Invalid);
+        }
+        let (latency, level) = if let Some(owner_core) = owner {
+            self.stats[core].coherence_misses += 1;
+            self.l1d[owner_core].set_state(line, LineState::Invalid);
+            (self.config.cache_to_cache_latency, AccessLevel::RemoteCache)
+        } else {
+            self.read_from_l2_or_memory(core, line, now)
+        };
+        if !sharers.is_empty() || owner.is_some() {
+            self.stats[core].upgrades += 1;
+        }
+        self.install_l1d(core, line, LineState::Modified, now);
+        (latency, level)
+    }
+
+    /// Upgrade a resident non-writable line to Modified: invalidate all remote
+    /// copies and pay the bus transaction latency.
+    fn upgrade(&mut self, core: usize, line: u64) -> u64 {
+        let (owner, sharers) = self.snoop(core, line);
+        let mut had_remote = false;
+        for s in sharers {
+            self.l1d[s].set_state(line, LineState::Invalid);
+            had_remote = true;
+        }
+        if let Some(o) = owner {
+            self.l1d[o].set_state(line, LineState::Invalid);
+            had_remote = true;
+        }
+        if had_remote {
+            self.stats[core].upgrades += 1;
+            self.config.upgrade_latency
+        } else {
+            0
+        }
+    }
+
+    /// Installs a line in a core's L1D, handling dirty-victim write-backs.
+    fn install_l1d(&mut self, core: usize, line: u64, state: LineState, now: u64) {
+        if let Some(ev) = self.l1d[core].insert(line, state) {
+            if ev.state.is_dirty() {
+                self.stats[core].writebacks += 1;
+                self.write_to_l2_or_memory(core, ev.addr, now);
+            }
+        }
+    }
+
+    /// Reads a line from the shared L2 (filling it from DRAM on an L2 miss).
+    fn read_from_l2_or_memory(&mut self, core: usize, line: u64, now: u64) -> (u64, AccessLevel) {
+        if self.config.perfect_l2 {
+            self.stats[core].l2_hits += 1;
+            return (self.config.l2.map_or(12, |l2| l2.latency), AccessLevel::L2);
+        }
+        match &mut self.l2 {
+            Some(l2) => {
+                let l2_latency = l2.config().latency;
+                if l2.access(line).is_valid() {
+                    self.stats[core].l2_hits += 1;
+                    (l2_latency, AccessLevel::L2)
+                } else {
+                    self.stats[core].l2_misses += 1;
+                    self.stats[core].dram_reads += 1;
+                    let dram_latency = self.dram.access(now);
+                    // Fill the L2 (inclusive); its victim may need a
+                    // write-back and back-invalidation of L1 copies.
+                    let evicted = self.l2.as_mut().expect("L2 present").insert(line, LineState::Exclusive);
+                    if let Some(ev) = evicted {
+                        self.handle_l2_eviction(core, ev.addr, ev.state, now);
+                    }
+                    (l2_latency + dram_latency, AccessLevel::Memory)
+                }
+            }
+            None => {
+                self.stats[core].l2_misses += 1;
+                self.stats[core].dram_reads += 1;
+                (self.dram.access(now), AccessLevel::Memory)
+            }
+        }
+    }
+
+    /// Writes a dirty line back towards memory (L1 victim or coherence
+    /// write-back). The requester does not wait for it.
+    fn write_to_l2_or_memory(&mut self, _core: usize, line: u64, now: u64) {
+        match &mut self.l2 {
+            Some(l2) => {
+                if l2.access(line).is_valid() {
+                    l2.set_state(line, LineState::Modified);
+                } else {
+                    let evicted = l2.insert(line, LineState::Modified);
+                    if let Some(ev) = evicted {
+                        self.handle_l2_eviction(_core, ev.addr, ev.state, now);
+                    }
+                }
+            }
+            None => {
+                self.dram.writeback(now);
+            }
+        }
+    }
+
+    /// Maintains inclusion on an L2 eviction: back-invalidate the L1 copies
+    /// and push dirty data to DRAM.
+    fn handle_l2_eviction(&mut self, core: usize, addr: u64, state: LineState, now: u64) {
+        let mut any_dirty_l1 = false;
+        for c in 0..self.config.num_cores {
+            let s = self.l1d[c].probe(addr);
+            if s.is_dirty() {
+                any_dirty_l1 = true;
+            }
+            if s.is_valid() {
+                self.l1d[c].set_state(addr, LineState::Invalid);
+            }
+            self.l1i[c].set_state(addr, LineState::Invalid);
+        }
+        if state.is_dirty() || any_dirty_l1 {
+            self.stats[core].writebacks += 1;
+            self.dram.writeback(now);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::CacheConfig;
+
+    fn small_config(cores: usize) -> MemoryConfig {
+        let mut c = MemoryConfig::hpca2010_baseline(cores);
+        // Shrink the caches so capacity behaviour is testable with few accesses.
+        c.l1i = CacheConfig { size_bytes: 4096, ways: 2, line_bytes: 64, latency: 0 };
+        c.l1d = CacheConfig { size_bytes: 4096, ways: 2, line_bytes: 64, latency: 0 };
+        c.l2 = Some(CacheConfig { size_bytes: 64 * 1024, ways: 4, line_bytes: 64, latency: 12 });
+        c
+    }
+
+    #[test]
+    fn first_data_access_goes_to_memory_second_hits_l1() {
+        let mut m = MemoryHierarchy::new(&small_config(1));
+        let a = m.access_data(0, 0x10_000, false, 0);
+        assert_eq!(a.level, AccessLevel::Memory);
+        assert!(a.latency >= 150);
+        assert!(a.is_long_latency());
+        let b = m.access_data(0, 0x10_008, false, 10);
+        assert_eq!(b.level, AccessLevel::L1);
+        assert_eq!(b.latency, 0);
+        assert!(!b.is_long_latency());
+    }
+
+    #[test]
+    fn l2_hit_after_l1_capacity_eviction() {
+        let mut m = MemoryHierarchy::new(&small_config(1));
+        // Touch enough lines to overflow the 4 KB L1 but stay inside the L2.
+        for i in 0..256u64 {
+            m.access_data(0, 0x10_000 + i * 64, false, i);
+        }
+        // Re-touch the first line: gone from L1, still in L2.
+        let r = m.access_data(0, 0x10_000, false, 1000);
+        assert_eq!(r.level, AccessLevel::L2);
+        assert_eq!(r.latency, 12);
+        assert!(!r.is_long_latency());
+    }
+
+    #[test]
+    fn instruction_fetch_miss_and_hit() {
+        let mut m = MemoryHierarchy::new(&small_config(1));
+        let a = m.access_instruction(0, 0x40_0000, 0);
+        assert_eq!(a.level, AccessLevel::Memory);
+        let b = m.access_instruction(0, 0x40_0000, 5);
+        assert_eq!(b.level, AccessLevel::L1);
+        assert_eq!(b.latency, 0);
+    }
+
+    #[test]
+    fn tlb_miss_adds_walk_latency() {
+        let mut m = MemoryHierarchy::new(&small_config(1));
+        let a = m.access_data(0, 0x10_000, false, 0);
+        assert!(a.tlb_miss);
+        let b = m.access_data(0, 0x10_040, false, 1);
+        assert!(!b.tlb_miss, "same page must hit in the D-TLB");
+    }
+
+    #[test]
+    fn store_after_remote_load_invalidates_sharer() {
+        let mut m = MemoryHierarchy::new(&small_config(2));
+        m.access_data(0, 0x20_000, false, 0);
+        m.access_data(1, 0x20_000, false, 10);
+        assert!(m.coherence_invariant_holds(0x20_000));
+        // Core 1 now stores: core 0's copy must be invalidated.
+        let st = m.access_data(1, 0x20_000, true, 20);
+        assert_eq!(st.level, AccessLevel::L1, "core 1 already holds the line");
+        assert_eq!(m.l1d_state(0, 0x20_000), LineState::Invalid);
+        assert_eq!(m.l1d_state(1, 0x20_000), LineState::Modified);
+        assert!(m.coherence_invariant_holds(0x20_000));
+    }
+
+    #[test]
+    fn load_of_remotely_modified_line_is_a_coherence_miss() {
+        let mut m = MemoryHierarchy::new(&small_config(2));
+        m.access_data(0, 0x30_000, true, 0); // core 0 owns the line Modified
+        assert_eq!(m.l1d_state(0, 0x30_000), LineState::Modified);
+        // Warm core 1's D-TLB with a different line of the same page so the
+        // next access isolates the coherence-transfer latency.
+        m.access_data(1, 0x30_040, false, 5);
+        let r = m.access_data(1, 0x30_000, false, 10);
+        assert_eq!(r.level, AccessLevel::RemoteCache);
+        assert_eq!(r.latency, m.config().cache_to_cache_latency);
+        assert!(r.is_long_latency());
+        // MOESI: the previous owner keeps the dirty line in Owned state.
+        assert_eq!(m.l1d_state(0, 0x30_000), LineState::Owned);
+        assert_eq!(m.l1d_state(1, 0x30_000), LineState::Shared);
+        assert!(m.coherence_invariant_holds(0x30_000));
+    }
+
+    #[test]
+    fn store_to_shared_line_upgrades() {
+        let mut m = MemoryHierarchy::new(&small_config(2));
+        m.access_data(0, 0x40_000, false, 0);
+        m.access_data(1, 0x40_000, false, 5);
+        // Both cores share the line now; core 0 writes.
+        let st = m.access_data(0, 0x40_000, true, 10);
+        assert_eq!(st.level, AccessLevel::L1);
+        assert!(st.latency >= m.config().upgrade_latency);
+        assert_eq!(m.l1d_state(0, 0x40_000), LineState::Modified);
+        assert_eq!(m.l1d_state(1, 0x40_000), LineState::Invalid);
+        let stats = m.stats();
+        assert!(stats.per_core[0].upgrades >= 1);
+    }
+
+    #[test]
+    fn store_miss_with_remote_owner_transfers_and_invalidates() {
+        let mut m = MemoryHierarchy::new(&small_config(2));
+        m.access_data(0, 0x50_000, true, 0);
+        let st = m.access_data(1, 0x50_000, true, 10);
+        assert_eq!(st.level, AccessLevel::RemoteCache);
+        assert_eq!(m.l1d_state(0, 0x50_000), LineState::Invalid);
+        assert_eq!(m.l1d_state(1, 0x50_000), LineState::Modified);
+        assert!(m.coherence_invariant_holds(0x50_000));
+    }
+
+    #[test]
+    fn exclusive_then_silent_upgrade_on_own_store() {
+        let mut m = MemoryHierarchy::new(&small_config(2));
+        m.access_data(0, 0x60_000, false, 0);
+        assert_eq!(m.l1d_state(0, 0x60_000), LineState::Exclusive);
+        let st = m.access_data(0, 0x60_000, true, 5);
+        assert_eq!(st.latency, 0, "E -> M must be silent");
+        assert_eq!(m.l1d_state(0, 0x60_000), LineState::Modified);
+    }
+
+    #[test]
+    fn perfect_data_side_never_misses() {
+        let cfg = small_config(1).with_perfect_data_side();
+        let mut m = MemoryHierarchy::new(&cfg);
+        for i in 0..1000u64 {
+            let r = m.access_data(0, i * 4096 * 13, false, i);
+            assert_eq!(r.latency, 0);
+            assert_eq!(r.level, AccessLevel::L1);
+        }
+    }
+
+    #[test]
+    fn perfect_l2_bounds_data_latency() {
+        let cfg = small_config(1).with_perfect_l2();
+        let mut m = MemoryHierarchy::new(&cfg);
+        for i in 0..500u64 {
+            let r = m.access_data(0, 0x100_000 + i * 64 * 131, false, i);
+            assert!(r.latency <= 12 + m.config().dtlb.miss_latency);
+            assert!(matches!(r.level, AccessLevel::L1 | AccessLevel::L2));
+        }
+    }
+
+    #[test]
+    fn perfect_instruction_side_never_misses() {
+        let cfg = small_config(1).with_perfect_instruction_side();
+        let mut m = MemoryHierarchy::new(&cfg);
+        for i in 0..200u64 {
+            let r = m.access_instruction(0, 0x40_0000 + i * 64 * 997, i);
+            assert_eq!(r.latency, 0);
+        }
+    }
+
+    #[test]
+    fn no_l2_configuration_goes_straight_to_memory() {
+        let mut cfg = small_config(1);
+        cfg.l2 = None;
+        let mut m = MemoryHierarchy::new(&cfg);
+        let r = m.access_data(0, 0x70_000, false, 0);
+        assert_eq!(r.level, AccessLevel::Memory);
+        // Re-access after L1 eviction pressure would go to memory again, but a
+        // direct re-access hits L1.
+        let r2 = m.access_data(0, 0x70_000, false, 10);
+        assert_eq!(r2.level, AccessLevel::L1);
+    }
+
+    #[test]
+    fn dram_contention_shows_up_under_load() {
+        let mut cfg = small_config(2);
+        cfg.l2 = Some(CacheConfig { size_bytes: 8 * 1024, ways: 2, line_bytes: 64, latency: 12 });
+        let mut m = MemoryHierarchy::new(&cfg);
+        // Many simultaneous misses at the same cycle: the channel serializes.
+        let mut latencies = Vec::new();
+        for i in 0..32u64 {
+            let r = m.access_data((i % 2) as usize, 0x200_0000 + i * 64 * 1031, false, 0);
+            if r.level == AccessLevel::Memory {
+                latencies.push(r.latency);
+            }
+        }
+        assert!(latencies.len() > 8);
+        assert!(
+            latencies.last().unwrap() > latencies.first().unwrap(),
+            "later requests in the same cycle must queue behind earlier ones"
+        );
+        assert!(m.stats().dram_queue_cycles > 0);
+    }
+
+    #[test]
+    fn stats_track_hits_and_misses() {
+        let mut m = MemoryHierarchy::new(&small_config(1));
+        m.access_data(0, 0x10_000, false, 0);
+        m.access_data(0, 0x10_000, false, 1);
+        m.access_instruction(0, 0x40_0000, 2);
+        let s = m.stats();
+        assert_eq!(s.per_core[0].l1d_misses, 1);
+        assert_eq!(s.per_core[0].l1d_hits, 1);
+        assert_eq!(s.per_core[0].l1i_misses, 1);
+        assert_eq!(s.totals().dram_reads, 2);
+    }
+
+    #[test]
+    fn l2_eviction_back_invalidates_l1() {
+        let mut cfg = small_config(1);
+        // L2 as small as the L1 so it evicts quickly.
+        cfg.l2 = Some(CacheConfig { size_bytes: 4096, ways: 1, line_bytes: 64, latency: 12 });
+        let mut m = MemoryHierarchy::new(&cfg);
+        m.access_data(0, 0x0, false, 0);
+        assert!(m.l1d_state(0, 0x0).is_valid());
+        // Map another line onto the same (direct-mapped) L2 set: 4096-byte stride.
+        m.access_data(0, 0x1000, false, 10);
+        assert_eq!(
+            m.l1d_state(0, 0x0),
+            LineState::Invalid,
+            "inclusion requires back-invalidation of the L1 copy"
+        );
+    }
+}

@@ -1,0 +1,186 @@
+//! Translation lookaside buffers.
+//!
+//! TLB misses are one of the miss-event classes of interval analysis: an
+//! I-TLB miss behaves like an I-cache miss (front-end starvation for the
+//! duration of the walk), a D-TLB miss on a load behaves like a long-latency
+//! load. The TLB is modeled as a fully-associative LRU cache of page
+//! translations with a fixed page-walk penalty.
+
+use serde::{Deserialize, Serialize};
+
+/// TLB geometry and timing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TlbConfig {
+    /// Number of entries.
+    pub entries: usize,
+    /// Page size in bytes.
+    pub page_bytes: u64,
+    /// Page-walk penalty in cycles on a miss.
+    pub miss_latency: u64,
+}
+
+impl TlbConfig {
+    /// 64-entry, 64 KB effective pages (8 KB base pages with superpage
+    /// promotion, as Alpha supported), 30-cycle walk.
+    #[must_use]
+    pub fn default_dtlb() -> Self {
+        TlbConfig {
+            entries: 64,
+            page_bytes: 64 * 1024,
+            miss_latency: 30,
+        }
+    }
+
+    /// 48-entry instruction TLB.
+    #[must_use]
+    pub fn default_itlb() -> Self {
+        TlbConfig {
+            entries: 48,
+            page_bytes: 64 * 1024,
+            miss_latency: 30,
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the problem when a field is zero or the page
+    /// size is not a power of two.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.entries == 0 {
+            return Err("TLB must have at least one entry".to_string());
+        }
+        if self.page_bytes == 0 || !self.page_bytes.is_power_of_two() {
+            return Err("page size must be a non-zero power of two".to_string());
+        }
+        Ok(())
+    }
+}
+
+/// Fully-associative, LRU translation lookaside buffer.
+#[derive(Debug, Clone)]
+pub struct Tlb {
+    config: TlbConfig,
+    /// Resident page numbers, most recently used last.
+    pages: Vec<u64>,
+    hits: u64,
+    misses: u64,
+}
+
+impl Tlb {
+    /// Creates an empty TLB.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails [`TlbConfig::validate`].
+    #[must_use]
+    pub fn new(config: &TlbConfig) -> Self {
+        config.validate().unwrap_or_else(|e| panic!("invalid TLB configuration: {e}"));
+        Tlb {
+            config: *config,
+            pages: Vec::with_capacity(config.entries),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// The configuration of this TLB.
+    #[must_use]
+    pub fn config(&self) -> &TlbConfig {
+        &self.config
+    }
+
+    fn page_of(&self, vaddr: u64) -> u64 {
+        vaddr / self.config.page_bytes
+    }
+
+    /// Translates `vaddr`; returns the added latency (0 on a hit, the
+    /// page-walk penalty on a miss) and installs the translation.
+    pub fn access(&mut self, vaddr: u64) -> u64 {
+        let page = self.page_of(vaddr);
+        if let Some(pos) = self.pages.iter().position(|&p| p == page) {
+            self.hits += 1;
+            let p = self.pages.remove(pos);
+            self.pages.push(p);
+            0
+        } else {
+            self.misses += 1;
+            if self.pages.len() == self.config.entries {
+                self.pages.remove(0);
+            }
+            self.pages.push(page);
+            self.config.miss_latency
+        }
+    }
+
+    /// Whether a translation for `vaddr` is resident (no side effects).
+    #[must_use]
+    pub fn contains(&self, vaddr: u64) -> bool {
+        let page = self.page_of(vaddr);
+        self.pages.contains(&page)
+    }
+
+    /// `(hits, misses)` counters.
+    #[must_use]
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_access_misses_second_hits() {
+        let mut t = Tlb::new(&TlbConfig::default_dtlb());
+        assert_eq!(t.access(0x1234), 30);
+        assert_eq!(t.access(0x1238), 0, "same page must hit");
+        assert_eq!(t.stats(), (1, 1));
+    }
+
+    #[test]
+    fn different_pages_miss_separately() {
+        let mut t = Tlb::new(&TlbConfig::default_dtlb());
+        t.access(0);
+        assert_eq!(t.access(64 * 1024), 30);
+    }
+
+    #[test]
+    fn capacity_eviction_is_lru() {
+        let cfg = TlbConfig {
+            entries: 2,
+            page_bytes: 4096,
+            miss_latency: 10,
+        };
+        let mut t = Tlb::new(&cfg);
+        t.access(0x0000); // page 0
+        t.access(0x1000); // page 1
+        t.access(0x0000); // touch page 0 -> page 1 is LRU
+        t.access(0x2000); // page 2 evicts page 1
+        assert!(t.contains(0x0000));
+        assert!(!t.contains(0x1000));
+        assert!(t.contains(0x2000));
+    }
+
+    #[test]
+    fn contains_has_no_side_effects() {
+        let mut t = Tlb::new(&TlbConfig::default_itlb());
+        t.access(0x4000);
+        let stats = t.stats();
+        assert!(t.contains(0x4000));
+        assert!(!t.contains(0xdead_0000));
+        assert_eq!(t.stats(), stats);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid TLB configuration")]
+    fn zero_entries_panics() {
+        let _ = Tlb::new(&TlbConfig {
+            entries: 0,
+            page_bytes: 4096,
+            miss_latency: 10,
+        });
+    }
+}

@@ -1,0 +1,126 @@
+//! Property-based tests for the memory hierarchy: cache structure, TLB, DRAM
+//! and the MOESI coherence invariant under arbitrary access interleavings.
+
+use proptest::prelude::*;
+
+use iss_mem::cache::{Cache, CacheConfig, LineState};
+use iss_mem::dram::{DramConfig, DramModel};
+use iss_mem::tlb::{Tlb, TlbConfig};
+use iss_mem::{MemoryConfig, MemoryHierarchy};
+
+fn tiny_cache() -> Cache {
+    Cache::new(&CacheConfig {
+        size_bytes: 1024,
+        ways: 2,
+        line_bytes: 64,
+        latency: 1,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// A cache never holds more lines than its capacity, and an address
+    /// inserted last is always still resident immediately afterwards.
+    #[test]
+    fn cache_capacity_and_recency(addrs in proptest::collection::vec(0u64..1_000_000, 1..200)) {
+        let mut c = tiny_cache();
+        for &a in &addrs {
+            c.insert(a, LineState::Exclusive);
+            prop_assert!(c.probe(a).is_valid(), "the just-inserted line must be resident");
+            prop_assert!(c.resident_lines() <= 16, "capacity is 16 lines");
+        }
+    }
+
+    /// Accessing an address after inserting it is always a hit, regardless of
+    /// the other traffic in between, as long as fewer than `ways` other lines
+    /// mapped to the same set.
+    #[test]
+    fn cache_hit_after_insert_without_conflict(addr in 0u64..100_000) {
+        let mut c = tiny_cache();
+        let line = c.line_addr(addr);
+        c.insert(line, LineState::Shared);
+        // Touch addresses guaranteed to map to different sets (different
+        // index bits within one way's reach).
+        for i in 1..8u64 {
+            c.insert(line ^ (i << 6), LineState::Shared);
+        }
+        prop_assert!(c.access(addr).is_valid());
+    }
+
+    /// The TLB never reports more resident pages than entries and always hits
+    /// on the page touched most recently.
+    #[test]
+    fn tlb_recency_and_capacity(addrs in proptest::collection::vec(0u64..10_000_000, 1..100)) {
+        let cfg = TlbConfig { entries: 8, page_bytes: 4096, miss_latency: 20 };
+        let mut t = Tlb::new(&cfg);
+        for &a in &addrs {
+            let lat = t.access(a);
+            prop_assert!(lat == 0 || lat == 20);
+            prop_assert!(t.contains(a));
+        }
+        let (hits, misses) = t.stats();
+        prop_assert_eq!(hits + misses, addrs.len() as u64);
+    }
+
+    /// DRAM latency is never below the unloaded latency and the channel never
+    /// goes back in time (queueing only adds delay).
+    #[test]
+    fn dram_latency_is_monotone(gaps in proptest::collection::vec(0u64..50, 1..50)) {
+        let cfg = DramConfig::hpca2010_baseline();
+        let unloaded = cfg.access_latency + cfg.transfer_cycles();
+        let mut d = DramModel::new(&cfg);
+        let mut now = 0;
+        for &g in &gaps {
+            now += g;
+            let lat = d.access(now);
+            prop_assert!(lat >= unloaded, "latency {lat} below unloaded {unloaded}");
+        }
+    }
+
+    /// The MOESI single-writer / single-owner invariant holds for every line
+    /// after an arbitrary interleaving of loads and stores from multiple
+    /// cores.
+    #[test]
+    fn moesi_invariant_under_random_sharing(
+        ops in proptest::collection::vec((0usize..4, 0u64..8, any::<bool>()), 1..300),
+    ) {
+        let mut cfg = MemoryConfig::hpca2010_baseline(4);
+        cfg.l1d = CacheConfig { size_bytes: 2048, ways: 2, line_bytes: 64, latency: 0 };
+        cfg.l1i = cfg.l1d;
+        let mut m = MemoryHierarchy::new(&cfg);
+        // Eight shared lines, touched by four cores in arbitrary order.
+        for (step, &(core, line, is_store)) in ops.iter().enumerate() {
+            let addr = 0x5000_0000 + line * 64;
+            m.access_data(core, addr, is_store, step as u64);
+            for l in 0..8u64 {
+                prop_assert!(
+                    m.coherence_invariant_holds(0x5000_0000 + l * 64),
+                    "MOESI invariant violated for line {l} after step {step}"
+                );
+            }
+        }
+    }
+
+    /// After a store by one core, no other core still holds a valid copy of
+    /// the line, regardless of the preceding access pattern.
+    #[test]
+    fn stores_invalidate_all_other_copies(
+        readers in proptest::collection::vec(0usize..4, 1..8),
+        writer in 0usize..4,
+    ) {
+        let cfg = MemoryConfig::hpca2010_baseline(4);
+        let mut m = MemoryHierarchy::new(&cfg);
+        let addr = 0x9000_0000;
+        for (i, &r) in readers.iter().enumerate() {
+            m.access_data(r, addr, false, i as u64);
+        }
+        m.access_data(writer, addr, true, 100);
+        for c in 0..4 {
+            if c != writer {
+                prop_assert_eq!(m.l1d_state(c, addr), LineState::Invalid);
+            }
+        }
+        prop_assert_eq!(m.l1d_state(writer, addr), LineState::Modified);
+    }
+}

@@ -1,0 +1,35 @@
+//! # iss-sim — simulation harness, metrics and experiment drivers
+//!
+//! This crate ties the substrates together into the tool a user actually
+//! runs: a [`config::SystemConfig`] describing the simulated chip (Table 1 of
+//! the paper by default), a [`workload::WorkloadSpec`] describing what runs
+//! on it, a [`runner`] that executes the workload under any of the three core
+//! models (interval, detailed cycle-accurate, one-IPC), the multi-program
+//! [`metrics`] the paper reports (IPC, STP, ANTT, normalized execution time,
+//! relative error), and one [`experiments`] driver per figure of the paper's
+//! evaluation section.
+//!
+//! ```
+//! use iss_sim::config::SystemConfig;
+//! use iss_sim::runner::{run, CoreModel};
+//! use iss_sim::workload::WorkloadSpec;
+//!
+//! let config = SystemConfig::hpca2010_baseline(1);
+//! let workload = WorkloadSpec::single("gcc", 10_000);
+//! let summary = run(CoreModel::Interval, &config, &workload, 42);
+//! assert!(summary.aggregate_ipc() > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod experiments;
+pub mod metrics;
+pub mod report;
+pub mod runner;
+pub mod workload;
+
+pub use config::SystemConfig;
+pub use runner::{run, CoreModel, CoreSummary, SimSummary};
+pub use workload::WorkloadSpec;

@@ -1,0 +1,176 @@
+//! Performance metrics used by the paper's evaluation.
+//!
+//! * **IPC** and **relative error** for the single-threaded accuracy figures
+//!   (Figures 4 and 5).
+//! * **System throughput (STP)** and **average normalized turnaround time
+//!   (ANTT)** for the multi-program workloads (Figure 6), following Eyerman
+//!   and Eeckhout's system-level performance metrics: with `C_i^SP` the
+//!   cycles program `i` needs running alone and `C_i^MP` its cycles in the
+//!   multi-program mix, `STP = Σ C_i^SP / C_i^MP` (higher is better, at most
+//!   the number of programs) and `ANTT = (1/n) Σ C_i^MP / C_i^SP` (lower is
+//!   better, at least 1).
+//! * **Normalized execution time** for the multi-threaded scaling figures
+//!   (Figures 7 and 8).
+//! * **Simulation speedup** for Figures 9 and 10.
+
+/// Relative error of `estimated` with respect to `reference`, as a fraction
+/// (0.05 = 5%). Returns 0 when the reference is 0.
+#[must_use]
+pub fn relative_error(estimated: f64, reference: f64) -> f64 {
+    if reference == 0.0 {
+        0.0
+    } else {
+        (estimated - reference).abs() / reference
+    }
+}
+
+/// System throughput: `Σ C_i^SP / C_i^MP` over programs.
+///
+/// `single_cycles[i]` is program `i`'s execution time running alone;
+/// `multi_cycles[i]` its execution time in the multi-program mix.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths or contain zero cycle counts.
+#[must_use]
+pub fn stp(single_cycles: &[u64], multi_cycles: &[u64]) -> f64 {
+    assert_eq!(single_cycles.len(), multi_cycles.len(), "per-program slices must match");
+    single_cycles
+        .iter()
+        .zip(multi_cycles)
+        .map(|(&sp, &mp)| {
+            assert!(sp > 0 && mp > 0, "cycle counts must be non-zero");
+            sp as f64 / mp as f64
+        })
+        .sum()
+}
+
+/// Average normalized turnaround time: `(1/n) Σ C_i^MP / C_i^SP`.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths, are empty, or contain zero
+/// cycle counts.
+#[must_use]
+pub fn antt(single_cycles: &[u64], multi_cycles: &[u64]) -> f64 {
+    assert_eq!(single_cycles.len(), multi_cycles.len(), "per-program slices must match");
+    assert!(!single_cycles.is_empty(), "at least one program is required");
+    let sum: f64 = single_cycles
+        .iter()
+        .zip(multi_cycles)
+        .map(|(&sp, &mp)| {
+            assert!(sp > 0 && mp > 0, "cycle counts must be non-zero");
+            mp as f64 / sp as f64
+        })
+        .sum();
+    sum / single_cycles.len() as f64
+}
+
+/// Execution time normalized to a reference execution time.
+///
+/// # Panics
+///
+/// Panics if `reference_cycles` is zero.
+#[must_use]
+pub fn normalized_time(cycles: u64, reference_cycles: u64) -> f64 {
+    assert!(reference_cycles > 0, "reference cycles must be non-zero");
+    cycles as f64 / reference_cycles as f64
+}
+
+/// Simulation speedup: how much faster (in host wall-clock time) the interval
+/// simulation ran compared to the detailed simulation of the same workload.
+///
+/// Returns 0 when the interval run took no measurable time.
+#[must_use]
+pub fn simulation_speedup(detailed_host_seconds: f64, interval_host_seconds: f64) -> f64 {
+    if interval_host_seconds <= 0.0 {
+        0.0
+    } else {
+        detailed_host_seconds / interval_host_seconds
+    }
+}
+
+/// Arithmetic mean of a slice (0 for an empty slice).
+#[must_use]
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+/// Maximum of a slice (0 for an empty slice).
+#[must_use]
+pub fn max(values: &[f64]) -> f64 {
+    values.iter().copied().fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relative_error_basics() {
+        assert!((relative_error(1.05, 1.0) - 0.05).abs() < 1e-12);
+        assert!((relative_error(0.95, 1.0) - 0.05).abs() < 1e-12);
+        assert_eq!(relative_error(1.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn stp_of_unperturbed_programs_equals_count() {
+        let single = [1000, 2000, 3000];
+        assert!((stp(&single, &single) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stp_degrades_with_slowdown() {
+        let single = [1000, 1000];
+        let multi = [2000, 2000];
+        assert!((stp(&single, &multi) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn antt_of_unperturbed_programs_is_one() {
+        let single = [1000, 2000];
+        assert!((antt(&single, &single) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn antt_grows_with_slowdown() {
+        let single = [1000, 1000];
+        let multi = [1500, 2500];
+        assert!((antt(&single, &multi) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalized_time_is_ratio() {
+        assert!((normalized_time(500, 1000) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn speedup_is_host_time_ratio() {
+        assert!((simulation_speedup(10.0, 1.0) - 10.0).abs() < 1e-12);
+        assert_eq!(simulation_speedup(10.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn mean_and_max() {
+        assert!((mean(&[1.0, 2.0, 3.0]) - 2.0).abs() < 1e-12);
+        assert!((max(&[1.0, 5.0, 3.0]) - 5.0).abs() < 1e-12);
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(max(&[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must match")]
+    fn stp_rejects_mismatched_lengths() {
+        let _ = stp(&[1], &[1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn antt_rejects_zero_cycles() {
+        let _ = antt(&[0], &[1]);
+    }
+}

@@ -1,0 +1,205 @@
+//! Plain-text reporting helpers for the experiment drivers.
+//!
+//! The figure-regeneration binaries print the same rows/series the paper's
+//! figures plot; these helpers format them consistently and compute the
+//! summary statistics (average and maximum error) the paper quotes in its
+//! text.
+
+use crate::experiments::{AccuracyRow, Fig6Row, Fig7Row, Fig8Row, SpeedupRow};
+use crate::metrics;
+
+/// Average and maximum relative error over a set of accuracy rows
+/// (Figures 4 and 5 quote these in the text).
+#[must_use]
+pub fn accuracy_summary(rows: &[AccuracyRow]) -> (f64, f64) {
+    let errors: Vec<f64> = rows.iter().map(AccuracyRow::error).collect();
+    (metrics::mean(&errors), metrics::max(&errors))
+}
+
+/// Formats an accuracy table (Figures 4 and 5).
+#[must_use]
+pub fn format_accuracy_table(title: &str, rows: &[AccuracyRow]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{title}\n"));
+    out.push_str(&format!(
+        "{:<14} {:>14} {:>14} {:>9}\n",
+        "benchmark", "detailed IPC", "interval IPC", "error"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:<14} {:>14.3} {:>14.3} {:>8.1}%\n",
+            r.benchmark,
+            r.detailed_ipc,
+            r.interval_ipc,
+            r.error() * 100.0
+        ));
+    }
+    let (avg, max) = accuracy_summary(rows);
+    out.push_str(&format!(
+        "average error {:.1}%   max error {:.1}%\n",
+        avg * 100.0,
+        max * 100.0
+    ));
+    out
+}
+
+/// Formats the STP/ANTT table of Figure 6.
+#[must_use]
+pub fn format_fig6_table(rows: &[Fig6Row]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<10} {:>6} {:>12} {:>12} {:>12} {:>12}\n",
+        "benchmark", "copies", "STP det", "STP int", "ANTT det", "ANTT int"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:<10} {:>6} {:>12.3} {:>12.3} {:>12.3} {:>12.3}\n",
+            r.benchmark, r.copies, r.detailed_stp, r.interval_stp, r.detailed_antt, r.interval_antt
+        ));
+    }
+    let stp_errors: Vec<f64> = rows.iter().map(Fig6Row::stp_error).collect();
+    let antt_errors: Vec<f64> = rows.iter().map(Fig6Row::antt_error).collect();
+    out.push_str(&format!(
+        "average STP error {:.1}%   average ANTT error {:.1}%\n",
+        metrics::mean(&stp_errors) * 100.0,
+        metrics::mean(&antt_errors) * 100.0
+    ));
+    out
+}
+
+/// Formats the normalized-execution-time table of Figure 7.
+#[must_use]
+pub fn format_fig7_table(rows: &[Fig7Row]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<14} {:>6} {:>16} {:>16} {:>9}\n",
+        "benchmark", "cores", "detailed (norm)", "interval (norm)", "error"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:<14} {:>6} {:>16.3} {:>16.3} {:>8.1}%\n",
+            r.benchmark,
+            r.cores,
+            r.detailed_normalized_time,
+            r.interval_normalized_time,
+            r.error() * 100.0
+        ));
+    }
+    let errors: Vec<f64> = rows.iter().map(Fig7Row::error).collect();
+    out.push_str(&format!(
+        "average error {:.1}%   max error {:.1}%\n",
+        metrics::mean(&errors) * 100.0,
+        metrics::max(&errors) * 100.0
+    ));
+    out
+}
+
+/// Formats the design-trade-off table of Figure 8.
+#[must_use]
+pub fn format_fig8_table(rows: &[Fig8Row]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<14} {:<14} {:>16} {:>16}\n",
+        "benchmark", "design", "detailed (norm)", "interval (norm)"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:<14} {:<14} {:>16.3} {:>16.3}\n",
+            r.benchmark, r.design, r.detailed_normalized_time, r.interval_normalized_time
+        ));
+    }
+    out
+}
+
+/// Formats a simulation-speedup table (Figures 9 and 10).
+#[must_use]
+pub fn format_speedup_table(rows: &[SpeedupRow]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<14} {:>6} {:>14} {:>14} {:>9}\n",
+        "benchmark", "cores", "detailed (s)", "interval (s)", "speedup"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:<14} {:>6} {:>14.3} {:>14.3} {:>8.1}x\n",
+            r.benchmark, r.cores, r.detailed_seconds, r.interval_seconds, r.speedup
+        ));
+    }
+    let speedups: Vec<f64> = rows.iter().map(|r| r.speedup).collect();
+    out.push_str(&format!("average speedup {:.1}x\n", metrics::mean(&speedups)));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rows() -> Vec<AccuracyRow> {
+        vec![
+            AccuracyRow {
+                benchmark: "gcc".to_string(),
+                detailed_ipc: 1.0,
+                interval_ipc: 1.1,
+            },
+            AccuracyRow {
+                benchmark: "mcf".to_string(),
+                detailed_ipc: 0.5,
+                interval_ipc: 0.45,
+            },
+        ]
+    }
+
+    #[test]
+    fn accuracy_summary_reports_mean_and_max() {
+        let (avg, max) = accuracy_summary(&rows());
+        assert!((avg - 0.1).abs() < 1e-9);
+        assert!((max - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tables_contain_every_benchmark() {
+        let t = format_accuracy_table("Figure 5", &rows());
+        assert!(t.contains("gcc") && t.contains("mcf"));
+        assert!(t.contains("average error"));
+    }
+
+    #[test]
+    fn speedup_table_formats() {
+        let t = format_speedup_table(&[SpeedupRow {
+            benchmark: "gcc".to_string(),
+            cores: 2,
+            speedup: 9.0,
+            detailed_seconds: 9.0,
+            interval_seconds: 1.0,
+        }]);
+        assert!(t.contains("9.0x"));
+        assert!(t.contains("average speedup"));
+    }
+
+    #[test]
+    fn fig6_and_fig7_and_fig8_tables_format() {
+        let t6 = format_fig6_table(&[Fig6Row {
+            benchmark: "mcf".to_string(),
+            copies: 4,
+            detailed_stp: 2.0,
+            interval_stp: 2.1,
+            detailed_antt: 2.5,
+            interval_antt: 2.4,
+        }]);
+        assert!(t6.contains("mcf"));
+        let t7 = format_fig7_table(&[Fig7Row {
+            benchmark: "vips".to_string(),
+            cores: 4,
+            detailed_normalized_time: 0.9,
+            interval_normalized_time: 0.95,
+        }]);
+        assert!(t7.contains("vips"));
+        let t8 = format_fig8_table(&[Fig8Row {
+            benchmark: "canneal".to_string(),
+            design: "2 cores + L2".to_string(),
+            detailed_normalized_time: 1.0,
+            interval_normalized_time: 1.05,
+        }]);
+        assert!(t8.contains("canneal"));
+    }
+}

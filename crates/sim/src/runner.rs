@@ -1,0 +1,247 @@
+//! Uniform runner over the three core models.
+//!
+//! [`run`] executes a [`WorkloadSpec`] on a [`SystemConfig`] under the chosen
+//! [`CoreModel`] and returns a model-independent [`SimSummary`], which is
+//! what the experiment drivers and metrics operate on.
+
+use serde::{Deserialize, Serialize};
+
+use iss_detailed::{DetailedSimulator, OneIpcSimulator};
+use iss_interval::IntervalSimulator;
+use iss_mem::MemoryStats;
+
+use crate::config::SystemConfig;
+use crate::workload::WorkloadSpec;
+
+/// Which timing model drives the cores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CoreModel {
+    /// The paper's contribution: the mechanistic analytical interval model.
+    Interval,
+    /// Detailed cycle-accurate out-of-order simulation (the baseline the
+    /// paper compares against).
+    Detailed,
+    /// The one-instruction-per-cycle simplification (related-work baseline).
+    OneIpc,
+}
+
+impl CoreModel {
+    /// Short name used in reports.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            CoreModel::Interval => "interval",
+            CoreModel::Detailed => "detailed",
+            CoreModel::OneIpc => "one-ipc",
+        }
+    }
+}
+
+/// Per-core summary of a run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CoreSummary {
+    /// Core index.
+    pub core: usize,
+    /// Instructions retired by this core.
+    pub instructions: u64,
+    /// Cycles until this core finished.
+    pub cycles: u64,
+}
+
+impl CoreSummary {
+    /// Instructions per cycle of this core.
+    #[must_use]
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.cycles as f64
+        }
+    }
+}
+
+/// Model-independent summary of one simulation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimSummary {
+    /// The core model that produced this summary.
+    pub model: CoreModel,
+    /// Label of the workload that was run.
+    pub workload: String,
+    /// Cycles until the last core finished (the workload's execution time).
+    pub cycles: u64,
+    /// Per-core summaries.
+    pub per_core: Vec<CoreSummary>,
+    /// Total instructions simulated.
+    pub total_instructions: u64,
+    /// Host wall-clock seconds the simulation took.
+    pub host_seconds: f64,
+    /// Shared memory-hierarchy statistics.
+    pub memory: MemoryStats,
+}
+
+impl SimSummary {
+    /// Aggregate instructions per cycle over the whole chip.
+    #[must_use]
+    pub fn aggregate_ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.total_instructions as f64 / self.cycles as f64
+        }
+    }
+
+    /// IPC of one core.
+    #[must_use]
+    pub fn core_ipc(&self, core: usize) -> f64 {
+        self.per_core[core].ipc()
+    }
+
+    /// Simulated instructions per host second (simulation speed).
+    #[must_use]
+    pub fn simulation_speed(&self) -> f64 {
+        if self.host_seconds <= 0.0 {
+            0.0
+        } else {
+            self.total_instructions as f64 / self.host_seconds
+        }
+    }
+}
+
+/// Runs `workload` on `config` under `model` with a deterministic `seed`.
+///
+/// # Panics
+///
+/// Panics if the workload cannot be built (unknown benchmark, zero sizes) or
+/// if the workload's core count does not match the configuration.
+#[must_use]
+pub fn run(model: CoreModel, config: &SystemConfig, workload: &WorkloadSpec, seed: u64) -> SimSummary {
+    let built = workload
+        .build(seed)
+        .unwrap_or_else(|e| panic!("cannot build workload `{}`: {e}", workload.label()));
+    assert_eq!(
+        built.num_cores(),
+        config.num_cores(),
+        "workload `{}` needs {} cores but the configuration has {}",
+        workload.label(),
+        built.num_cores(),
+        config.num_cores()
+    );
+    let label = workload.label();
+    match model {
+        CoreModel::Interval => {
+            let mut sim = IntervalSimulator::from_workload(
+                &config.interval_core,
+                &config.branch,
+                &config.memory,
+                built,
+            );
+            let r = sim.run();
+            SimSummary {
+                model,
+                workload: label,
+                cycles: r.cycles,
+                per_core: r
+                    .per_core
+                    .iter()
+                    .map(|c| CoreSummary {
+                        core: c.core,
+                        instructions: c.instructions,
+                        cycles: c.cycles,
+                    })
+                    .collect(),
+                total_instructions: r.total_instructions,
+                host_seconds: r.host_seconds,
+                memory: r.memory,
+            }
+        }
+        CoreModel::Detailed => {
+            let mut sim = DetailedSimulator::from_workload(
+                &config.detailed_core,
+                &config.branch,
+                &config.memory,
+                built,
+            );
+            let r = sim.run();
+            SimSummary {
+                model,
+                workload: label,
+                cycles: r.cycles,
+                per_core: r
+                    .per_core
+                    .iter()
+                    .map(|c| CoreSummary {
+                        core: c.core,
+                        instructions: c.instructions,
+                        cycles: c.cycles,
+                    })
+                    .collect(),
+                total_instructions: r.total_instructions,
+                host_seconds: r.host_seconds,
+                memory: r.memory,
+            }
+        }
+        CoreModel::OneIpc => {
+            let mut sim = OneIpcSimulator::from_workload(&config.memory, built);
+            let r = sim.run();
+            SimSummary {
+                model,
+                workload: label,
+                cycles: r.cycles,
+                per_core: r
+                    .per_core
+                    .iter()
+                    .map(|c| CoreSummary {
+                        core: c.core,
+                        instructions: c.instructions,
+                        cycles: c.cycles,
+                    })
+                    .collect(),
+                total_instructions: r.total_instructions,
+                host_seconds: r.host_seconds,
+                memory: r.memory,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interval_and_detailed_run_the_same_workload() {
+        let config = SystemConfig::hpca2010_baseline(1);
+        let spec = WorkloadSpec::single("gzip", 4_000);
+        let interval = run(CoreModel::Interval, &config, &spec, 7);
+        let detailed = run(CoreModel::Detailed, &config, &spec, 7);
+        assert_eq!(interval.total_instructions, 4_000);
+        assert_eq!(detailed.total_instructions, 4_000);
+        assert_eq!(interval.workload, "gzip");
+        assert!(interval.aggregate_ipc() > 0.0);
+        assert!(detailed.aggregate_ipc() > 0.0);
+    }
+
+    #[test]
+    fn one_ipc_runs_too() {
+        let config = SystemConfig::hpca2010_baseline(1);
+        let spec = WorkloadSpec::single("gcc", 2_000);
+        let s = run(CoreModel::OneIpc, &config, &spec, 1);
+        assert_eq!(s.model, CoreModel::OneIpc);
+        assert!(s.core_ipc(0) <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn model_names_are_stable() {
+        assert_eq!(CoreModel::Interval.name(), "interval");
+        assert_eq!(CoreModel::Detailed.name(), "detailed");
+        assert_eq!(CoreModel::OneIpc.name(), "one-ipc");
+    }
+
+    #[test]
+    #[should_panic(expected = "needs 4 cores")]
+    fn core_count_mismatch_panics() {
+        let config = SystemConfig::hpca2010_baseline(1);
+        let spec = WorkloadSpec::homogeneous("gcc", 4, 100);
+        let _ = run(CoreModel::Interval, &config, &spec, 1);
+    }
+}

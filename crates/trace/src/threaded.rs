@@ -1,0 +1,294 @@
+//! Multi-threaded / multi-programmed workload construction.
+//!
+//! A [`ThreadedWorkload`] bundles the per-core instruction streams and the
+//! shared [`SyncController`] that the timing simulators use to model
+//! inter-thread synchronization. Two organizations are supported, matching the
+//! paper's evaluation:
+//!
+//! * **Multi-threaded** (PARSEC, Figure 7): one program, `n` threads, shared
+//!   data and synchronization.
+//! * **Multi-programmed** (SPEC, Figure 6): `n` independent copies of
+//!   single-threaded programs, one per core, no synchronization, contention
+//!   only through the shared memory hierarchy.
+
+use crate::profile::WorkloadProfile;
+use crate::stream::SyntheticStream;
+use crate::sync::SyncController;
+use crate::ThreadId;
+
+/// A complete workload for a multi-core simulation: one instruction stream per
+/// core plus shared synchronization state.
+#[derive(Debug, Clone)]
+pub struct ThreadedWorkload {
+    /// Human-readable name (benchmark name, possibly with a copy count).
+    name: String,
+    streams: Vec<SyntheticStream>,
+    sync: SyncController,
+    multithreaded: bool,
+}
+
+impl ThreadedWorkload {
+    /// Builds an `n`-thread run of one multi-threaded program (PARSEC-like).
+    ///
+    /// `length` is the *total* dynamic instruction count of the program; it is
+    /// divided evenly over the threads so that, as in the paper, the same
+    /// program run on more cores executes (roughly) the same total work.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0` or `length == 0`.
+    #[must_use]
+    pub fn multithreaded(profile: &WorkloadProfile, threads: usize, seed: u64, length: u64) -> Self {
+        assert!(threads > 0, "a workload needs at least one thread");
+        assert!(length > 0, "workload length must be non-zero");
+        // Load imbalance: the total work is divided unevenly, so the slowest
+        // thread bounds the parallel execution time (this is what makes
+        // `vips`-like workloads scale poorly in Figure 7).
+        let imbalance = profile.sync.imbalance.max(0.0);
+        let weights: Vec<f64> = (0..threads)
+            .map(|t| {
+                if threads > 1 {
+                    1.0 + imbalance * t as f64 / (threads - 1) as f64
+                } else {
+                    1.0
+                }
+            })
+            .collect();
+        let total_weight: f64 = weights.iter().sum();
+        let mut lengths: Vec<u64> = weights
+            .iter()
+            .map(|w| ((length as f64 * w / total_weight).round() as u64).max(1))
+            .collect();
+        // Adjust the last thread so the per-thread lengths add up to exactly
+        // the requested total.
+        let assigned: u64 = lengths.iter().take(threads - 1).sum();
+        lengths[threads - 1] = length.saturating_sub(assigned).max(1);
+        let streams = (0..threads)
+            .map(|t| SyntheticStream::with_threads(profile, t, threads, seed, lengths[t]))
+            .collect();
+        ThreadedWorkload {
+            name: format!("{}.{}t", profile.name, threads),
+            streams,
+            sync: SyncController::new(threads),
+            multithreaded: true,
+        }
+    }
+
+    /// Builds a homogeneous multi-programmed workload: `copies` independent
+    /// instances of the same single-threaded program, one per core, each
+    /// executing `length_per_copy` instructions (Figure 6 of the paper).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `copies == 0` or `length_per_copy == 0`.
+    #[must_use]
+    pub fn multiprogram_homogeneous(
+        profile: &WorkloadProfile,
+        copies: usize,
+        seed: u64,
+        length_per_copy: u64,
+    ) -> Self {
+        assert!(copies > 0, "a workload needs at least one program copy");
+        assert!(length_per_copy > 0, "workload length must be non-zero");
+        let streams = (0..copies)
+            .map(|t| {
+                // Each copy is an independent run: distinct seed, private data,
+                // but the same program (profile).
+                SyntheticStream::with_threads(profile, t, copies, seed.wrapping_add(t as u64 * 7919), length_per_copy)
+            })
+            .collect();
+        ThreadedWorkload {
+            name: format!("{}x{}", profile.name, copies),
+            streams,
+            sync: SyncController::new(copies),
+            multithreaded: false,
+        }
+    }
+
+    /// Builds a heterogeneous multi-programmed workload: one single-threaded
+    /// program per core, potentially all different.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `profiles` is empty or `length_per_copy == 0`.
+    #[must_use]
+    pub fn multiprogram(profiles: &[WorkloadProfile], seed: u64, length_per_copy: u64) -> Self {
+        assert!(!profiles.is_empty(), "a workload needs at least one program");
+        assert!(length_per_copy > 0, "workload length must be non-zero");
+        let streams = profiles
+            .iter()
+            .enumerate()
+            .map(|(t, p)| SyntheticStream::new(p, 0, seed.wrapping_add(t as u64 * 104_729), length_per_copy))
+            .collect();
+        let name = profiles
+            .iter()
+            .map(|p| p.name.as_str())
+            .collect::<Vec<_>>()
+            .join("+");
+        ThreadedWorkload {
+            name,
+            streams: {
+                let mut s: Vec<SyntheticStream> = streams;
+                // Re-tag thread indices so per-core private data regions do not
+                // alias: rebuild with the per-core thread index.
+                for (t, (stream, p)) in s.iter_mut().zip(profiles.iter()).enumerate() {
+                    *stream = SyntheticStream::with_threads(
+                        p,
+                        t,
+                        profiles.len(),
+                        seed.wrapping_add(t as u64 * 104_729),
+                        length_per_copy,
+                    );
+                }
+                s
+            },
+            sync: SyncController::new(profiles.len()),
+            multithreaded: false,
+        }
+    }
+
+    /// Builds a single-threaded, single-core workload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `length == 0`.
+    #[must_use]
+    pub fn single(profile: &WorkloadProfile, seed: u64, length: u64) -> Self {
+        Self::multithreaded(&{
+            // A single-threaded run of a PARSEC profile still runs without
+            // synchronization (there is nothing to synchronize with).
+            profile.clone()
+        }, 1, seed, length)
+    }
+
+    /// Workload name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of cores (= streams) in the workload.
+    #[must_use]
+    pub fn num_cores(&self) -> usize {
+        self.streams.len()
+    }
+
+    /// Whether this is a single multi-threaded program (as opposed to
+    /// independent co-scheduled programs).
+    #[must_use]
+    pub fn is_multithreaded(&self) -> bool {
+        self.multithreaded
+    }
+
+    /// Total number of instructions across all streams.
+    #[must_use]
+    pub fn total_instructions(&self) -> u64 {
+        self.streams.iter().map(SyntheticStream::total_instructions).sum()
+    }
+
+    /// Instructions of the stream assigned to one core.
+    #[must_use]
+    pub fn instructions_on_core(&self, core: ThreadId) -> u64 {
+        self.streams[core].total_instructions()
+    }
+
+    /// Splits the workload into its parts for consumption by a simulator:
+    /// the per-core instruction streams and the shared synchronization state.
+    #[must_use]
+    pub fn into_parts(self) -> (Vec<SyntheticStream>, SyncController) {
+        (self.streams, self.sync)
+    }
+
+    /// Borrow the per-core streams.
+    #[must_use]
+    pub fn streams(&self) -> &[SyntheticStream] {
+        &self.streams
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog;
+    use crate::stream::InstructionStream;
+
+    #[test]
+    fn multithreaded_divides_work_across_threads() {
+        let p = catalog::parsec_profile("blackscholes").unwrap();
+        let w = ThreadedWorkload::multithreaded(&p, 4, 1, 40_000);
+        assert_eq!(w.num_cores(), 4);
+        assert!(w.is_multithreaded());
+        assert_eq!(w.total_instructions(), 40_000);
+        for c in 0..4 {
+            let per = w.instructions_on_core(c);
+            assert!((9_000..=11_000).contains(&per), "blackscholes is nearly balanced, got {per}");
+        }
+    }
+
+    #[test]
+    fn imbalanced_profile_gives_unequal_thread_lengths() {
+        let p = catalog::parsec_profile("vips").unwrap();
+        let w = ThreadedWorkload::multithreaded(&p, 4, 1, 40_000);
+        let first = w.instructions_on_core(0);
+        let last = w.instructions_on_core(3);
+        assert!(
+            last as f64 > 1.5 * first as f64,
+            "vips thread 3 ({last}) must do much more work than thread 0 ({first})"
+        );
+    }
+
+    #[test]
+    fn multiprogram_runs_full_length_per_copy() {
+        let p = catalog::spec_profile("mcf").unwrap();
+        let w = ThreadedWorkload::multiprogram_homogeneous(&p, 4, 1, 10_000);
+        assert_eq!(w.num_cores(), 4);
+        assert!(!w.is_multithreaded());
+        assert_eq!(w.total_instructions(), 40_000);
+    }
+
+    #[test]
+    fn heterogeneous_multiprogram_names_and_sizes() {
+        let profiles = vec![
+            catalog::spec_profile("gcc").unwrap(),
+            catalog::spec_profile("mcf").unwrap(),
+        ];
+        let w = ThreadedWorkload::multiprogram(&profiles, 5, 2_000);
+        assert_eq!(w.name(), "gcc+mcf");
+        assert_eq!(w.num_cores(), 2);
+        assert_eq!(w.total_instructions(), 4_000);
+    }
+
+    #[test]
+    fn single_has_one_core_and_no_sync_markers() {
+        let p = catalog::parsec_profile("fluidanimate").unwrap();
+        let w = ThreadedWorkload::single(&p, 3, 5_000);
+        assert_eq!(w.num_cores(), 1);
+        let (mut streams, sync) = w.into_parts();
+        assert_eq!(sync.num_threads(), 1);
+        let mut count = 0;
+        while let Some(i) = streams[0].next_inst() {
+            assert!(i.sync.is_none(), "single-threaded run must not synchronize");
+            count += 1;
+        }
+        assert_eq!(count, 5_000);
+    }
+
+    #[test]
+    fn multiprogram_copies_do_not_share_addresses() {
+        let p = catalog::spec_profile("art").unwrap();
+        let w = ThreadedWorkload::multiprogram_homogeneous(&p, 2, 9, 3_000);
+        let (mut streams, _) = w.into_parts();
+        let addrs = |s: &mut SyntheticStream| {
+            let mut v = Vec::new();
+            while let Some(i) = s.next_inst() {
+                if let Some(m) = i.mem {
+                    v.push(m.vaddr);
+                }
+            }
+            v
+        };
+        let a = addrs(&mut streams[0]);
+        let b = addrs(&mut streams[1]);
+        assert!(a.iter().max().unwrap() < b.iter().min().unwrap());
+    }
+}

@@ -1,0 +1,174 @@
+//! Property-based tests for the synthetic workload front-end.
+
+use proptest::prelude::*;
+
+use iss_trace::stream::{InstructionStream, SyntheticStream};
+use iss_trace::sync::SyncController;
+use iss_trace::{catalog, OpClass, ThreadedWorkload};
+
+fn any_benchmark() -> impl Strategy<Value = &'static str> {
+    prop_oneof![
+        Just("gcc"),
+        Just("mcf"),
+        Just("swim"),
+        Just("gzip"),
+        Just("vpr"),
+        Just("canneal"),
+        Just("fluidanimate"),
+        Just("blackscholes"),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The stream always yields exactly the requested number of instructions,
+    /// with strictly increasing sequence numbers.
+    #[test]
+    fn stream_length_and_sequence_numbers(
+        bench in any_benchmark(),
+        seed in 0u64..1_000_000,
+        len in 1u64..3_000,
+    ) {
+        let p = catalog::profile(bench).unwrap();
+        let mut s = SyntheticStream::new(&p, 0, seed, len);
+        let mut count = 0;
+        let mut last_seq = None;
+        while let Some(i) = s.next_inst() {
+            if let Some(prev) = last_seq {
+                prop_assert_eq!(i.seq, prev + 1);
+            } else {
+                prop_assert_eq!(i.seq, 0);
+            }
+            last_seq = Some(i.seq);
+            count += 1;
+        }
+        prop_assert_eq!(count, len);
+        prop_assert!(s.next_inst().is_none(), "the stream must stay exhausted");
+    }
+
+    /// Two streams with identical parameters are identical instruction by
+    /// instruction (determinism is what makes interval-vs-detailed
+    /// comparisons meaningful).
+    #[test]
+    fn stream_is_reproducible(
+        bench in any_benchmark(),
+        seed in 0u64..1_000_000,
+        len in 1u64..2_000,
+    ) {
+        let p = catalog::profile(bench).unwrap();
+        let mut a = SyntheticStream::new(&p, 0, seed, len);
+        let mut b = SyntheticStream::new(&p, 0, seed, len);
+        loop {
+            match (a.next_inst(), b.next_inst()) {
+                (None, None) => break,
+                (x, y) => prop_assert_eq!(x, y),
+            }
+        }
+    }
+
+    /// Structural invariants of every generated instruction: loads/stores
+    /// carry addresses, branches carry outcomes, nothing else does, and the
+    /// instruction classes stay within the profile's vocabulary.
+    #[test]
+    fn instruction_structure_is_consistent(
+        bench in any_benchmark(),
+        seed in 0u64..100_000,
+    ) {
+        let p = catalog::profile(bench).unwrap();
+        let mut s = SyntheticStream::with_threads(&p, 0, 2, seed, 2_000);
+        while let Some(i) = s.next_inst() {
+            match i.op {
+                OpClass::Load => {
+                    prop_assert!(i.mem.is_some());
+                    prop_assert!(!i.mem.unwrap().is_store);
+                    prop_assert!(i.dst.is_some());
+                }
+                OpClass::Store => {
+                    prop_assert!(i.mem.is_some());
+                    prop_assert!(i.mem.unwrap().is_store);
+                }
+                OpClass::Branch => {
+                    prop_assert!(i.branch.is_some());
+                    prop_assert!(i.mem.is_none());
+                }
+                _ => {
+                    prop_assert!(i.branch.is_none());
+                    prop_assert!(i.mem.is_none());
+                }
+            }
+            prop_assert!(i.exec_latency() >= 1 && i.exec_latency() <= 20);
+        }
+    }
+
+    /// A multithreaded workload always splits the requested total exactly and
+    /// every thread receives at least one instruction.
+    #[test]
+    fn threaded_workload_distributes_all_instructions(
+        bench in prop_oneof![Just("vips"), Just("blackscholes"), Just("dedup")],
+        threads in 1usize..8,
+        total in 64u64..20_000,
+    ) {
+        let p = catalog::parsec_profile(bench).unwrap();
+        let w = ThreadedWorkload::multithreaded(&p, threads, 3, total);
+        prop_assert_eq!(w.num_cores(), threads);
+        prop_assert_eq!(w.total_instructions(), total);
+        for t in 0..threads {
+            prop_assert!(w.instructions_on_core(t) >= 1);
+        }
+    }
+
+    /// The synchronization controller releases a barrier no matter in which
+    /// order threads arrive, and never reports a blocked thread afterwards.
+    #[test]
+    fn barriers_release_for_any_arrival_order(order in proptest::sample::subsequence(vec![0usize,1,2,3], 4)) {
+        // `order` is a subsequence; the remaining threads arrive afterwards in
+        // index order, so every permutation prefix is exercised.
+        let mut sync = SyncController::new(4);
+        let mut arrived = Vec::new();
+        for &t in &order {
+            sync.arrive_barrier(t, 1);
+            arrived.push(t);
+        }
+        for t in 0..4 {
+            if !arrived.contains(&t) {
+                sync.arrive_barrier(t, 1);
+            }
+        }
+        for t in 0..4 {
+            prop_assert!(!sync.is_blocked(t), "thread {t} must be released");
+        }
+        prop_assert_eq!(sync.barriers_completed(), 1);
+    }
+
+    /// Locks are mutually exclusive and always eventually transferable: after
+    /// an arbitrary sequence of acquire attempts, releasing by the holder
+    /// leaves at most one new holder and no spuriously blocked thread.
+    #[test]
+    fn locks_are_mutually_exclusive(attempts in proptest::collection::vec(0usize..4, 1..24)) {
+        let mut sync = SyncController::new(4);
+        let mut holder: Option<usize> = None;
+        for &t in &attempts {
+            let got = sync.try_acquire(t, 7);
+            match holder {
+                None => {
+                    prop_assert!(got, "a free lock must be granted");
+                    holder = Some(t);
+                }
+                Some(h) if h == t => prop_assert!(got, "re-acquire by the holder must succeed"),
+                Some(_) => prop_assert!(!got, "a held lock must not be granted to another thread"),
+            }
+        }
+        if let Some(h) = holder {
+            sync.release(h, 7);
+            // After the release, either nobody or exactly one former waiter
+            // holds the lock; the holder is never blocked.
+            for t in 0..4 {
+                if sync.try_acquire(t, 7) {
+                    prop_assert!(!sync.is_blocked(t));
+                    break;
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! Accuracy report (Figure 5 style): run a set of SPEC-like benchmarks under
+//! both the detailed cycle-accurate model and the interval model, and report
+//! per-benchmark IPCs, the relative error, and the host-time speedup.
+//!
+//! Run with: `cargo run --release --example accuracy_report [instructions]`
+
+use interval_sim::sim::config::SystemConfig;
+use interval_sim::sim::metrics;
+use interval_sim::sim::runner::{run, CoreModel};
+use interval_sim::sim::workload::WorkloadSpec;
+
+fn main() {
+    let instructions: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(100_000);
+    let benchmarks = ["gzip", "gcc", "crafty", "twolf", "mcf", "art", "mesa", "swim"];
+    let config = SystemConfig::hpca2010_baseline(1);
+
+    println!(
+        "{:<10} {:>14} {:>14} {:>9} {:>10}",
+        "benchmark", "detailed IPC", "interval IPC", "error", "speedup"
+    );
+    let mut errors = Vec::new();
+    let mut speedups = Vec::new();
+    for b in benchmarks {
+        let spec = WorkloadSpec::single(b, instructions);
+        let detailed = run(CoreModel::Detailed, &config, &spec, 42);
+        let interval = run(CoreModel::Interval, &config, &spec, 42);
+        let error = metrics::relative_error(interval.core_ipc(0), detailed.core_ipc(0));
+        let speedup = metrics::simulation_speedup(detailed.host_seconds, interval.host_seconds);
+        errors.push(error);
+        speedups.push(speedup);
+        println!(
+            "{:<10} {:>14.3} {:>14.3} {:>8.1}% {:>9.1}x",
+            b,
+            detailed.core_ipc(0),
+            interval.core_ipc(0),
+            error * 100.0,
+            speedup
+        );
+    }
+    println!();
+    println!(
+        "average error {:.1}%   max error {:.1}%   average speedup {:.1}x",
+        metrics::mean(&errors) * 100.0,
+        metrics::max(&errors) * 100.0,
+        metrics::mean(&speedups)
+    );
+}

@@ -1,0 +1,62 @@
+//! Design-space case study (Figure 8 of the paper): compare a dual-core
+//! processor with a 4 MB L2 and external DRAM (16-byte memory bus, 150-cycle
+//! access) against a quad-core processor with no L2 and 3D-stacked DRAM
+//! (128-byte bus, 125-cycle access), using interval simulation — the kind of
+//! high-level trade-off the paper argues interval simulation is for.
+//!
+//! Run with: `cargo run --release --example design_space_3dstack [total_instructions]`
+
+use interval_sim::sim::config::SystemConfig;
+use interval_sim::sim::runner::{run, CoreModel};
+use interval_sim::sim::workload::WorkloadSpec;
+use interval_sim::trace::catalog;
+
+fn main() {
+    let total: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(200_000);
+
+    let dual = SystemConfig::fig8_dual_core_l2();
+    let quad = SystemConfig::fig8_quad_core_3d();
+
+    println!(
+        "{:<15} {:>18} {:>18} {:>12}",
+        "benchmark", "2 cores + L2", "4 cores + 3D DRAM", "winner"
+    );
+    let mut dual_wins = 0;
+    let mut quad_wins = 0;
+    for benchmark in catalog::PARSEC {
+        let dual_run = run(
+            CoreModel::Interval,
+            &dual,
+            &WorkloadSpec::multithreaded(benchmark, 2, total),
+            42,
+        );
+        let quad_run = run(
+            CoreModel::Interval,
+            &quad,
+            &WorkloadSpec::multithreaded(benchmark, 4, total),
+            42,
+        );
+        let norm_dual = 1.0;
+        let norm_quad = quad_run.cycles as f64 / dual_run.cycles as f64;
+        let winner = if norm_quad < norm_dual {
+            quad_wins += 1;
+            "4 cores + 3D"
+        } else {
+            dual_wins += 1;
+            "2 cores + L2"
+        };
+        println!(
+            "{:<15} {:>18.3} {:>18.3} {:>12}",
+            benchmark, norm_dual, norm_quad, winner
+        );
+    }
+    println!();
+    println!("designs preferred: 2 cores + L2 -> {dual_wins} benchmarks, 4 cores + 3D -> {quad_wins} benchmarks");
+    println!("(execution times normalized to the dual-core configuration; lower is better)");
+    println!("The paper's observation: compute/bandwidth-hungry benchmarks (bodytrack,");
+    println!("fluidanimate, swaptions) prefer more cores and 3D-stacked bandwidth, while");
+    println!("cache-sensitive ones (canneal, vips, x264) prefer keeping the L2.");
+}

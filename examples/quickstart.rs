@@ -1,0 +1,73 @@
+//! Quickstart: build the paper's Table-1 baseline system, run one benchmark
+//! under the interval model, and print the IPC and the miss-event breakdown
+//! that explains it.
+//!
+//! Run with: `cargo run --release --example quickstart [benchmark] [instructions]`
+
+use interval_sim::branch::BranchPredictorConfig;
+use interval_sim::interval::{IntervalCoreConfig, IntervalSimulator};
+use interval_sim::mem::MemoryConfig;
+use interval_sim::trace::{catalog, ThreadedWorkload};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let benchmark = args.get(1).map(String::as_str).unwrap_or("mcf");
+    let instructions: u64 = args
+        .get(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(200_000);
+
+    let Some(profile) = catalog::profile(benchmark) else {
+        eprintln!("unknown benchmark `{benchmark}`; available:");
+        eprintln!("  SPEC CPU2000: {}", catalog::SPEC_CPU2000.join(", "));
+        eprintln!("  PARSEC:       {}", catalog::PARSEC.join(", "));
+        std::process::exit(1);
+    };
+
+    println!("interval simulation of `{benchmark}` ({instructions} instructions)");
+    let workload = ThreadedWorkload::single(&profile, 42, instructions);
+    let mut sim = IntervalSimulator::from_workload(
+        &IntervalCoreConfig::hpca2010_baseline(),
+        &BranchPredictorConfig::hpca2010_baseline(),
+        &MemoryConfig::hpca2010_baseline(1),
+        workload,
+    );
+    let result = sim.run();
+    let core = &result.per_core[0];
+    let stats = &core.stats;
+    let mem = &result.memory.per_core[0];
+
+    println!();
+    println!("cycles                    {}", core.cycles);
+    println!("IPC                       {:.3}", core.ipc());
+    println!("host simulation speed     {:.0} simulated instructions / second",
+        result.instructions_per_host_second());
+    println!();
+    println!("miss-event breakdown (intervals: {}):", stats.intervals);
+    println!(
+        "  I-cache/I-TLB misses    {:>8} events, {:>9} penalty cycles",
+        stats.instruction_miss_events, stats.instruction_miss_penalty
+    );
+    println!(
+        "  branch mispredictions   {:>8} events, {:>9} penalty cycles",
+        stats.branch_miss_events, stats.branch_miss_penalty
+    );
+    println!(
+        "  long-latency loads      {:>8} events, {:>9} penalty cycles",
+        stats.long_latency_events, stats.long_latency_penalty
+    );
+    println!(
+        "  serializing insns       {:>8} events, {:>9} penalty cycles",
+        stats.serializing_events, stats.serializing_penalty
+    );
+    println!();
+    println!("second-order overlap effects (hidden under long-latency loads):");
+    println!("  overlapped loads        {:>8}", stats.overlapped_loads);
+    println!("  overlapped branches     {:>8}", stats.overlapped_branches);
+    println!();
+    println!("memory hierarchy:");
+    println!("  L1D misses / KI         {:>8.2}", mem.l1d_mpki(core.instructions));
+    println!("  L2 misses / KI          {:>8.2}", mem.l2_mpki(core.instructions));
+    println!("  branch MPKI             {:>8.2}", result.branch[0].mpki(core.instructions));
+    println!("  average interval length {:>8.1} instructions", stats.average_interval_length());
+}

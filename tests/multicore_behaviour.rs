@@ -1,0 +1,181 @@
+//! Integration tests for multi-core behaviour: shared-resource contention,
+//! synchronization, coherence, and the Figure 8 design-study machinery, all
+//! through the public API.
+
+use interval_sim::sim::config::SystemConfig;
+use interval_sim::sim::metrics;
+use interval_sim::sim::runner::{run, CoreModel};
+use interval_sim::sim::workload::WorkloadSpec;
+
+const SEED: u64 = 7;
+
+#[test]
+fn l2_and_bandwidth_sharing_degrade_memory_bound_multiprogram_throughput() {
+    // Figure 6 trend: per-copy progress of mcf drops as more copies share the
+    // L2 and the memory bandwidth, while gcc is far less sensitive.
+    let per_copy = 20_000;
+    let per_copy_ipc = |benchmark: &str, copies: usize| {
+        let config = SystemConfig::hpca2010_baseline(copies);
+        let spec = WorkloadSpec::homogeneous(benchmark, copies, per_copy);
+        let r = run(CoreModel::Interval, &config, &spec, SEED);
+        r.per_core.iter().map(|c| c.ipc()).sum::<f64>() / copies as f64
+    };
+    let mcf_1 = per_copy_ipc("mcf", 1);
+    let mcf_8 = per_copy_ipc("mcf", 8);
+    let gcc_1 = per_copy_ipc("gcc", 1);
+    let gcc_8 = per_copy_ipc("gcc", 8);
+    let mcf_loss = 1.0 - mcf_8 / mcf_1;
+    let gcc_loss = 1.0 - gcc_8 / gcc_1;
+    assert!(mcf_loss > 0.10, "mcf should lose per-copy IPC with 8 copies (lost {mcf_loss:.2})");
+    assert!(
+        mcf_loss > gcc_loss,
+        "mcf (lost {mcf_loss:.2}) must be more sensitive to sharing than gcc (lost {gcc_loss:.2})"
+    );
+}
+
+#[test]
+fn stp_is_bounded_by_copy_count_and_antt_at_least_one() {
+    let copies = 4;
+    let per_copy = 15_000;
+    let config = SystemConfig::hpca2010_baseline(copies);
+    let single = run(
+        CoreModel::Interval,
+        &SystemConfig::hpca2010_baseline(1),
+        &WorkloadSpec::single("twolf", per_copy),
+        SEED,
+    )
+    .per_core[0]
+        .cycles;
+    let multi = run(
+        CoreModel::Interval,
+        &config,
+        &WorkloadSpec::homogeneous("twolf", copies, per_copy),
+        SEED,
+    );
+    let multi_cycles: Vec<u64> = multi.per_core.iter().map(|c| c.cycles).collect();
+    let singles = vec![single; copies];
+    let stp = metrics::stp(&singles, &multi_cycles);
+    let antt = metrics::antt(&singles, &multi_cycles);
+    assert!(stp > 0.5 && stp <= copies as f64 + 0.25, "STP {stp:.3} out of range");
+    assert!(antt >= 0.9, "ANTT {antt:.3} cannot be far below 1");
+}
+
+#[test]
+fn imbalanced_workload_scales_worse_than_balanced_one() {
+    // Figure 7: vips (high load imbalance) scales worse than blackscholes.
+    let total = 60_000;
+    let scaling = |benchmark: &str| {
+        let one = run(
+            CoreModel::Interval,
+            &SystemConfig::hpca2010_baseline(1),
+            &WorkloadSpec::multithreaded(benchmark, 1, total),
+            SEED,
+        )
+        .cycles;
+        let four = run(
+            CoreModel::Interval,
+            &SystemConfig::hpca2010_baseline(4),
+            &WorkloadSpec::multithreaded(benchmark, 4, total),
+            SEED,
+        )
+        .cycles;
+        one as f64 / four as f64
+    };
+    let balanced = scaling("blackscholes");
+    let imbalanced = scaling("vips");
+    assert!(
+        balanced > imbalanced,
+        "blackscholes speedup {balanced:.2}x should exceed vips speedup {imbalanced:.2}x"
+    );
+}
+
+#[test]
+fn fig8_design_points_behave_as_designed() {
+    // The 3D-stacking case study: a compute-bound benchmark (swaptions) must
+    // prefer the quad-core + 3D-stacked-DRAM design, and removing the L2 must
+    // show up as additional off-chip traffic for a cache-sensitive benchmark
+    // (canneal) — the two effects whose balance Figure 8 studies.
+    let total = 40_000;
+    let run_design = |benchmark: &str, config: &SystemConfig, threads: usize| {
+        run(
+            CoreModel::Interval,
+            config,
+            &WorkloadSpec::multithreaded(benchmark, threads, total),
+            SEED,
+        )
+    };
+    let dual_cfg = SystemConfig::fig8_dual_core_l2();
+    let quad_cfg = SystemConfig::fig8_quad_core_3d();
+
+    let swaptions_dual = run_design("swaptions", &dual_cfg, 2);
+    let swaptions_quad = run_design("swaptions", &quad_cfg, 4);
+    assert!(
+        (swaptions_quad.cycles as f64) < 0.95 * swaptions_dual.cycles as f64,
+        "compute-bound swaptions must prefer 4 cores + 3D DRAM ({} vs {})",
+        swaptions_quad.cycles,
+        swaptions_dual.cycles
+    );
+
+    let canneal_dual = run_design("canneal", &dual_cfg, 2);
+    let canneal_quad = run_design("canneal", &quad_cfg, 4);
+    let per_inst = |s: &interval_sim::sim::runner::SimSummary| {
+        s.memory.totals().dram_reads as f64 / s.total_instructions as f64
+    };
+    assert!(
+        per_inst(&canneal_quad) > 1.15 * per_inst(&canneal_dual),
+        "removing the L2 must increase canneal's off-chip reads per instruction ({:.4} vs {:.4})",
+        per_inst(&canneal_quad),
+        per_inst(&canneal_dual)
+    );
+}
+
+#[test]
+fn coherence_traffic_appears_only_with_shared_data() {
+    let config = SystemConfig::hpca2010_baseline(4);
+    let shared = run(
+        CoreModel::Interval,
+        &config,
+        &WorkloadSpec::multithreaded("fluidanimate", 4, 60_000),
+        SEED,
+    );
+    let private = run(
+        CoreModel::Interval,
+        &config,
+        &WorkloadSpec::homogeneous("gcc", 4, 15_000),
+        SEED,
+    );
+    let shared_coherence = shared.memory.totals().coherence_misses + shared.memory.totals().upgrades;
+    let private_coherence =
+        private.memory.totals().coherence_misses + private.memory.totals().upgrades;
+    assert!(shared_coherence > 0, "a lock/shared-data workload must produce coherence traffic");
+    assert_eq!(
+        private_coherence, 0,
+        "independent programs with private data must not produce coherence traffic"
+    );
+}
+
+#[test]
+fn runs_are_deterministic_for_a_fixed_seed() {
+    let config = SystemConfig::hpca2010_baseline(2);
+    let spec = WorkloadSpec::multithreaded("x264", 2, 30_000);
+    let a = run(CoreModel::Interval, &config, &spec, 99);
+    let b = run(CoreModel::Interval, &config, &spec, 99);
+    assert_eq!(a.cycles, b.cycles);
+    assert_eq!(a.total_instructions, b.total_instructions);
+    let a_cycles: Vec<u64> = a.per_core.iter().map(|c| c.cycles).collect();
+    let b_cycles: Vec<u64> = b.per_core.iter().map(|c| c.cycles).collect();
+    assert_eq!(a_cycles, b_cycles);
+}
+
+#[test]
+fn different_seeds_change_the_workload_but_not_its_character() {
+    let config = SystemConfig::hpca2010_baseline(1);
+    let a = run(CoreModel::Interval, &config, &WorkloadSpec::single("mcf", 20_000), 1);
+    let b = run(CoreModel::Interval, &config, &WorkloadSpec::single("mcf", 20_000), 2);
+    assert_ne!(a.cycles, b.cycles, "different seeds should give different executions");
+    let ratio = a.cycles as f64 / b.cycles as f64;
+    assert!(
+        (0.5..2.0).contains(&ratio),
+        "both seeds still describe the same benchmark personality (ratio {ratio:.2})"
+    );
+}

@@ -16,9 +16,11 @@ fn bench(c: &mut Criterion) {
     for (label, config, cores) in designs {
         let spec = WorkloadSpec::multithreaded("canneal", cores, 40_000);
         for model in [CoreModel::Interval, CoreModel::Detailed] {
-            group.bench_with_input(BenchmarkId::new(label, model.name()), &model, |b, &model| {
-                b.iter(|| run(model, &config, &spec, 42))
-            });
+            group.bench_with_input(
+                BenchmarkId::new(label, model.name()),
+                &model,
+                |b, &model| b.iter(|| run(model, &config, &spec, 42)),
+            );
         }
     }
     group.finish();

@@ -13,15 +13,25 @@ fn bench(c: &mut Criterion) {
     group.sample_size(10);
     let config = SystemConfig::hpca2010_baseline(4);
     let workloads = [
-        ("spec_gcc_x4", WorkloadSpec::homogeneous("gcc", 4, 10_000), 40_000u64),
-        ("parsec_vips_4t", WorkloadSpec::multithreaded("vips", 4, 40_000), 40_000u64),
+        (
+            "spec_gcc_x4",
+            WorkloadSpec::homogeneous("gcc", 4, 10_000),
+            40_000u64,
+        ),
+        (
+            "parsec_vips_4t",
+            WorkloadSpec::multithreaded("vips", 4, 40_000),
+            40_000u64,
+        ),
     ];
     for (label, spec, instructions) in workloads {
         group.throughput(Throughput::Elements(instructions));
         for model in [CoreModel::Interval, CoreModel::Detailed, CoreModel::OneIpc] {
-            group.bench_with_input(BenchmarkId::new(label, model.name()), &model, |b, &model| {
-                b.iter(|| run(model, &config, &spec, 42))
-            });
+            group.bench_with_input(
+                BenchmarkId::new(label, model.name()),
+                &model,
+                |b, &model| b.iter(|| run(model, &config, &spec, 42)),
+            );
         }
     }
     group.finish();

@@ -7,7 +7,11 @@ use iss_trace::catalog::PARSEC;
 
 fn main() {
     let all = std::env::args().any(|a| a == "--all-benchmarks");
-    let benchmarks: Vec<&str> = if all { PARSEC.to_vec() } else { PARSEC_QUICK.to_vec() };
+    let benchmarks: Vec<&str> = if all {
+        PARSEC.to_vec()
+    } else {
+        PARSEC_QUICK.to_vec()
+    };
     let rows = fig10(&benchmarks, &CORE_COUNTS, scale_from_env());
     println!("Figure 10 — simulation speedup over detailed simulation (PARSEC)");
     println!("{}", format_speedup_table(&rows));

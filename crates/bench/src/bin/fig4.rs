@@ -26,6 +26,9 @@ fn main() {
     };
     for v in variants {
         let rows = fig4(v, &benchmarks, scale);
-        println!("{}", format_accuracy_table(&format!("Figure 4 ({})", v.label()), &rows));
+        println!(
+            "{}",
+            format_accuracy_table(&format!("Figure 4 ({})", v.label()), &rows)
+        );
     }
 }

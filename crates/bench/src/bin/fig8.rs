@@ -7,7 +7,11 @@ use iss_trace::catalog::PARSEC;
 
 fn main() {
     let all = std::env::args().any(|a| a == "--all-benchmarks");
-    let benchmarks: Vec<&str> = if all { PARSEC.to_vec() } else { PARSEC_QUICK.to_vec() };
+    let benchmarks: Vec<&str> = if all {
+        PARSEC.to_vec()
+    } else {
+        PARSEC_QUICK.to_vec()
+    };
     let rows = fig8(&benchmarks, scale_from_env());
     println!("Figure 8 — 2 cores + L2 + external DRAM vs 4 cores + 3D-stacked DRAM");
     println!("{}", format_fig8_table(&rows));

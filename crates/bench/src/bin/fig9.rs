@@ -7,7 +7,11 @@ use iss_trace::catalog::SPEC_CPU2000;
 
 fn main() {
     let all = std::env::args().any(|a| a == "--all-benchmarks");
-    let benchmarks: Vec<&str> = if all { SPEC_CPU2000.to_vec() } else { SPEC_QUICK.to_vec() };
+    let benchmarks: Vec<&str> = if all {
+        SPEC_CPU2000.to_vec()
+    } else {
+        SPEC_QUICK.to_vec()
+    };
     let rows = fig9(&benchmarks, &CORE_COUNTS, scale_from_env());
     println!("Figure 9 — simulation speedup over detailed simulation (SPEC multi-program)");
     println!("{}", format_speedup_table(&rows));

@@ -6,15 +6,42 @@ fn main() {
     let c = SystemConfig::hpca2010_baseline(8);
     println!("Table 1 — baseline processor core model");
     println!("----------------------------------------");
-    println!("ROB entries                 {}", c.detailed_core.rob_entries);
-    println!("issue queue entries         {}", c.detailed_core.issue_queue_entries);
-    println!("load/store queue entries    {}", c.detailed_core.lsq_entries);
-    println!("store buffer entries        {}", c.detailed_core.store_buffer_entries);
-    println!("decode/dispatch/commit      {}-wide", c.detailed_core.dispatch_width);
-    println!("issue width                 {}-wide", c.detailed_core.issue_width);
-    println!("fetch width                 {}-wide", c.detailed_core.fetch_width);
-    println!("fetch queue entries         {}", c.detailed_core.fetch_queue_entries);
-    println!("front-end pipeline depth    {} stages", c.detailed_core.frontend_pipeline_depth);
+    println!(
+        "ROB entries                 {}",
+        c.detailed_core.rob_entries
+    );
+    println!(
+        "issue queue entries         {}",
+        c.detailed_core.issue_queue_entries
+    );
+    println!(
+        "load/store queue entries    {}",
+        c.detailed_core.lsq_entries
+    );
+    println!(
+        "store buffer entries        {}",
+        c.detailed_core.store_buffer_entries
+    );
+    println!(
+        "decode/dispatch/commit      {}-wide",
+        c.detailed_core.dispatch_width
+    );
+    println!(
+        "issue width                 {}-wide",
+        c.detailed_core.issue_width
+    );
+    println!(
+        "fetch width                 {}-wide",
+        c.detailed_core.fetch_width
+    );
+    println!(
+        "fetch queue entries         {}",
+        c.detailed_core.fetch_queue_entries
+    );
+    println!(
+        "front-end pipeline depth    {} stages",
+        c.detailed_core.frontend_pipeline_depth
+    );
     println!(
         "functional units            {} int, {} load/store, {} fp",
         c.detailed_core.int_units, c.detailed_core.mem_units, c.detailed_core.fp_units
@@ -26,8 +53,16 @@ fn main() {
         c.branch.btb_ways,
         c.branch.btb_entries
     );
-    println!("L1 I-cache                  {} KB {}-way", c.memory.l1i.size_bytes / 1024, c.memory.l1i.ways);
-    println!("L1 D-cache                  {} KB {}-way", c.memory.l1d.size_bytes / 1024, c.memory.l1d.ways);
+    println!(
+        "L1 I-cache                  {} KB {}-way",
+        c.memory.l1i.size_bytes / 1024,
+        c.memory.l1i.ways
+    );
+    println!(
+        "L1 D-cache                  {} KB {}-way",
+        c.memory.l1d.size_bytes / 1024,
+        c.memory.l1d.ways
+    );
     if let Some(l2) = c.memory.l2 {
         println!(
             "L2 cache                    shared {} MB {}-way, {} cycles",
@@ -37,7 +72,10 @@ fn main() {
         );
     }
     println!("coherence protocol          MOESI");
-    println!("main memory                 {} cycle access", c.memory.dram.access_latency);
+    println!(
+        "main memory                 {} cycle access",
+        c.memory.dram.access_latency
+    );
     println!(
         "memory bandwidth            {:.1} bytes/cycle peak",
         c.memory.dram.bus_bytes_per_cycle

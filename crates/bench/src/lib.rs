@@ -62,7 +62,10 @@ mod tests {
             assert!(iss_trace::catalog::spec_profile(b).is_some(), "{b} missing");
         }
         for b in PARSEC_QUICK {
-            assert!(iss_trace::catalog::parsec_profile(b).is_some(), "{b} missing");
+            assert!(
+                iss_trace::catalog::parsec_profile(b).is_some(),
+                "{b} missing"
+            );
         }
     }
 }

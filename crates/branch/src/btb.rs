@@ -33,10 +33,19 @@ impl BranchTargetBuffer {
     /// `entries` is not divisible by `ways`.
     #[must_use]
     pub fn new(entries: usize, ways: usize) -> Self {
-        assert!(entries.is_power_of_two() && entries > 0, "entries must be a power of two");
-        assert!(ways > 0 && entries % ways == 0, "entries must be divisible by ways");
+        assert!(
+            entries.is_power_of_two() && entries > 0,
+            "entries must be a power of two"
+        );
+        assert!(
+            ways > 0 && entries.is_multiple_of(ways),
+            "entries must be divisible by ways"
+        );
         let num_sets = entries / ways;
-        assert!(num_sets.is_power_of_two(), "number of sets must be a power of two");
+        assert!(
+            num_sets.is_power_of_two(),
+            "number of sets must be a power of two"
+        );
         BranchTargetBuffer {
             sets: vec![Vec::with_capacity(ways); num_sets],
             ways,
@@ -93,7 +102,11 @@ impl BranchTargetBuffer {
             e.lru += 1;
         }
         if set.len() < ways {
-            set.push(BtbEntry { tag: pc, target, lru: 0 });
+            set.push(BtbEntry {
+                tag: pc,
+                target,
+                lru: 0,
+            });
         } else {
             // Evict the least recently used way.
             let victim = set
@@ -102,7 +115,11 @@ impl BranchTargetBuffer {
                 .max_by_key(|(_, e)| e.lru)
                 .map(|(i, _)| i)
                 .expect("set is non-empty");
-            set[victim] = BtbEntry { tag: pc, target, lru: 0 };
+            set[victim] = BtbEntry {
+                tag: pc,
+                target,
+                lru: 0,
+            };
         }
     }
 
@@ -147,7 +164,11 @@ mod tests {
         // Touch `a` so `b` becomes LRU.
         assert_eq!(btb.lookup(a), Some(1));
         btb.update(c, 3);
-        assert_eq!(btb.lookup(a), Some(1), "a was most recently used and must survive");
+        assert_eq!(
+            btb.lookup(a),
+            Some(1),
+            "a was most recently used and must survive"
+        );
         assert_eq!(btb.lookup(b), None, "b must have been evicted");
         assert_eq!(btb.lookup(c), Some(3));
     }

@@ -115,7 +115,9 @@ impl BranchPredictorConfig {
             ("ras_entries", self.ras_entries),
         ] {
             if v == 0 {
-                return Err(format!("branch predictor parameter `{name}` must be non-zero"));
+                return Err(format!(
+                    "branch predictor parameter `{name}` must be non-zero"
+                ));
             }
         }
         if !self.counter_entries.is_power_of_two() {
@@ -127,7 +129,7 @@ impl BranchPredictorConfig {
         if !self.btb_entries.is_power_of_two() {
             return Err("btb_entries must be a power of two".to_string());
         }
-        if self.btb_entries % self.btb_ways != 0 {
+        if !self.btb_entries.is_multiple_of(self.btb_ways) {
             return Err("btb_entries must be divisible by btb_ways".to_string());
         }
         if self.local_history_bits == 0 || self.local_history_bits > 20 {
@@ -154,7 +156,11 @@ mod tests {
     fn baseline_matches_paper_budget() {
         let c = BranchPredictorConfig::hpca2010_baseline();
         c.validate().unwrap();
-        assert_eq!(c.direction_storage_bits(), 12 * 1024, "local predictor must be 12 Kbit");
+        assert_eq!(
+            c.direction_storage_bits(),
+            12 * 1024,
+            "local predictor must be 12 Kbit"
+        );
         assert_eq!(c.btb_entries, 2048);
         assert_eq!(c.btb_ways, 8);
         assert_eq!(c.ras_entries, 32);
@@ -183,6 +189,9 @@ mod tests {
 
     #[test]
     fn default_is_baseline() {
-        assert_eq!(BranchPredictorConfig::default(), BranchPredictorConfig::hpca2010_baseline());
+        assert_eq!(
+            BranchPredictorConfig::default(),
+            BranchPredictorConfig::hpca2010_baseline()
+        );
     }
 }

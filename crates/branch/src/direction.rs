@@ -79,7 +79,10 @@ impl BimodalPredictor {
     /// Panics if `entries` is zero or not a power of two.
     #[must_use]
     pub fn new(entries: usize) -> Self {
-        assert!(entries.is_power_of_two() && entries > 0, "entries must be a power of two");
+        assert!(
+            entries.is_power_of_two() && entries > 0,
+            "entries must be a power of two"
+        );
         BimodalPredictor {
             counters: vec![Counter2::weakly_taken(); entries],
             mask: entries as u64 - 1,
@@ -120,7 +123,10 @@ impl GsharePredictor {
     /// Panics if `entries` is not a power of two or `history_bits == 0`.
     #[must_use]
     pub fn new(entries: usize, history_bits: u32) -> Self {
-        assert!(entries.is_power_of_two() && entries > 0, "entries must be a power of two");
+        assert!(
+            entries.is_power_of_two() && entries > 0,
+            "entries must be a power of two"
+        );
         assert!(history_bits > 0, "history_bits must be non-zero");
         GsharePredictor {
             counters: vec![Counter2::weakly_taken(); entries],
@@ -183,7 +189,11 @@ impl LocalPredictor {
     /// Panics if either table size is not a power of two or `history_bits`
     /// is zero.
     #[must_use]
-    pub fn with_geometry(history_entries: usize, history_bits: u32, counter_entries: usize) -> Self {
+    pub fn with_geometry(
+        history_entries: usize,
+        history_bits: u32,
+        counter_entries: usize,
+    ) -> Self {
         assert!(history_entries.is_power_of_two() && history_entries > 0);
         assert!(counter_entries.is_power_of_two() && counter_entries > 0);
         assert!(history_bits > 0);
@@ -277,7 +287,9 @@ impl DirectionPredictor for TournamentPredictor {
 
 /// Builds the direction predictor selected by `config`.
 #[must_use]
-pub fn build_direction_predictor(config: &BranchPredictorConfig) -> Box<dyn DirectionPredictor + Send> {
+pub fn build_direction_predictor(
+    config: &BranchPredictorConfig,
+) -> Box<dyn DirectionPredictor + Send> {
     use crate::config::DirectionPredictorKind as K;
     match config.kind {
         K::Perfect => Box::new(PerfectPredictor),
@@ -334,7 +346,10 @@ mod tests {
     fn bimodal_learns_bias() {
         let mut p = BimodalPredictor::new(1024);
         let acc = accuracy(&mut p, &biased_stream(0x4000, 1000, false));
-        assert!(acc > 0.99, "bimodal should learn an always-not-taken branch, got {acc}");
+        assert!(
+            acc > 0.99,
+            "bimodal should learn an always-not-taken branch, got {acc}"
+        );
     }
 
     #[test]
@@ -389,14 +404,20 @@ mod tests {
             .collect();
         let mut p = LocalPredictor::with_geometry(1024, 10, 1024);
         let acc = accuracy(&mut p, &outcomes);
-        assert!(acc < 0.9, "pattern should not be trivially predictable, got {acc}");
+        assert!(
+            acc < 0.9,
+            "pattern should not be trivially predictable, got {acc}"
+        );
     }
 
     #[test]
     fn factory_builds_every_kind() {
         use crate::config::DirectionPredictorKind as K;
         for kind in [K::Perfect, K::Bimodal, K::Gshare, K::Local, K::Tournament] {
-            let cfg = BranchPredictorConfig { kind, ..BranchPredictorConfig::hpca2010_baseline() };
+            let cfg = BranchPredictorConfig {
+                kind,
+                ..BranchPredictorConfig::hpca2010_baseline()
+            };
             let mut p = build_direction_predictor(&cfg);
             p.predict_and_update(0x100, true);
         }

@@ -147,7 +147,7 @@ impl BranchUnit {
                 _ => !info.taken || self.btb.probe(pc) == Some(info.target),
             }
         };
-        !direction_correct || (direction_correct && !target_correct)
+        !(direction_correct && target_correct)
     }
 
     /// Predicts the branch at `pc` with architectural outcome `info`, trains
@@ -186,7 +186,10 @@ impl BranchUnit {
                     let predicted = self.ras.pop();
                     predicted == Some(info.target)
                 }
-                BranchClass::Conditional | BranchClass::UnconditionalDirect | BranchClass::Indirect | BranchClass::Call => {
+                BranchClass::Conditional
+                | BranchClass::UnconditionalDirect
+                | BranchClass::Indirect
+                | BranchClass::Call => {
                     let predicted = self.btb.lookup(pc);
                     self.btb.update(pc, info.target);
                     if info.taken {
@@ -248,7 +251,10 @@ mod tests {
     fn perfect_unit_never_mispredicts() {
         let mut u = BranchUnit::new(&BranchPredictorConfig::perfect());
         for i in 0..100u64 {
-            let o = u.predict_and_update(0x1000 + i * 4, &cond(i % 3 == 0, 0x9000, 0x1000 + i * 4 + 4));
+            let o = u.predict_and_update(
+                0x1000 + i * 4,
+                &cond(i % 3 == 0, 0x9000, 0x1000 + i * 4 + 4),
+            );
             assert!(!o.mispredicted);
         }
         assert_eq!(u.stats().mispredictions, 0);
@@ -266,7 +272,10 @@ mod tests {
                 last_miss = i;
             }
         }
-        assert!(last_miss < 10, "a fully biased branch must be learned quickly (last miss at {last_miss})");
+        assert!(
+            last_miss < 10,
+            "a fully biased branch must be learned quickly (last miss at {last_miss})"
+        );
     }
 
     #[test]
@@ -301,7 +310,10 @@ mod tests {
         let o_call = u.predict_and_update(0x1000, &call);
         assert!(!o_call.mispredicted);
         let o_ret = u.predict_and_update(0x8000, &ret);
-        assert!(!o_ret.mispredicted, "return target should come from the RAS");
+        assert!(
+            !o_ret.mispredicted,
+            "return target should come from the RAS"
+        );
     }
 
     #[test]
@@ -319,13 +331,18 @@ mod tests {
                 misses += 1;
             }
         }
-        assert!(misses > 50, "rotating indirect targets must mispredict often, got {misses}");
+        assert!(
+            misses > 50,
+            "rotating indirect targets must mispredict often, got {misses}"
+        );
     }
 
     #[test]
     fn stats_mpki_scales_with_instructions() {
-        let mut s = BranchStats::default();
-        s.mispredictions = 10;
+        let s = BranchStats {
+            mispredictions: 10,
+            ..Default::default()
+        };
         assert!((s.mpki(1000) - 10.0).abs() < 1e-9);
         assert!((s.mpki(0)).abs() < 1e-9);
     }

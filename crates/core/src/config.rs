@@ -115,6 +115,9 @@ mod tests {
 
     #[test]
     fn default_is_baseline() {
-        assert_eq!(IntervalCoreConfig::default(), IntervalCoreConfig::hpca2010_baseline());
+        assert_eq!(
+            IntervalCoreConfig::default(),
+            IntervalCoreConfig::hpca2010_baseline()
+        );
     }
 }

@@ -145,7 +145,9 @@ impl<S: InstructionStream> IntervalCore<S> {
 
         // Little's law: the old-window critical path bounds the sustainable
         // dispatch rate. Fractional rates are accumulated as credit.
-        self.dispatch_credit += self.old_window.effective_dispatch_rate(self.config.window_size);
+        self.dispatch_credit += self
+            .old_window
+            .effective_dispatch_rate(self.config.window_size);
         let cap = 2.0 * f64::from(self.config.dispatch_width);
         if self.dispatch_credit > cap {
             self.dispatch_credit = cap;
@@ -282,8 +284,7 @@ impl<S: InstructionStream> IntervalCore<S> {
                     self.core_sim_time += penalty;
                     self.stats.long_latency_events += 1;
                     self.stats.long_latency_penalty += penalty;
-                    self.stats.bandwidth_residual_penalty +=
-                        penalty.saturating_sub(resp.latency);
+                    self.stats.bandwidth_residual_penalty += penalty.saturating_sub(resp.latency);
                     self.stats.intervals += 1;
                     self.reset_old_window();
                 } else if !acc.is_store {
@@ -317,6 +318,14 @@ impl<S: InstructionStream> IntervalCore<S> {
     /// independent branches and loads have their miss events resolved
     /// underneath it as well. The scan stops at a serializing instruction or
     /// at an overlapped branch that turns out to be mispredicted.
+    ///
+    /// Overlapped loads that depend on *each other* (pointer chasing) do not
+    /// expose memory-level parallelism: a chained load can only issue once
+    /// the load producing its address has returned. The scan therefore
+    /// accumulates per-register chain latencies and reports the critical
+    /// path through the overlapped misses, not merely the slowest single
+    /// miss — without this, chains of DRAM misses are billed as one miss and
+    /// memory-bound pointer-chasing benchmarks (mcf) come out far too fast.
     fn scan_overlap(
         &mut self,
         blocking_load: &DynInst,
@@ -325,6 +334,10 @@ impl<S: InstructionStream> IntervalCore<S> {
     ) -> u64 {
         let mut slowest_overlapped = 0;
         let mut tracker = DependenceTracker::rooted_at(blocking_load);
+        // Completion time (relative to the blocking load's issue) of the
+        // value in each architectural register, considering only latencies
+        // accumulated by overlapped loads during this scan.
+        let mut chain = [0u64; iss_trace::NUM_ARCH_REGS as usize];
         let core = self.core_id;
         let stats = &mut self.stats;
         let branch_unit = &mut self.branch_unit;
@@ -365,15 +378,51 @@ impl<S: InstructionStream> IntervalCore<S> {
                     }
                 }
             }
+            // The earliest this instruction can issue, given the overlapped
+            // loads feeding its source registers.
+            let ready_at = entry
+                .inst
+                .src_regs()
+                .map(|r| chain.get(r as usize).copied().unwrap_or(0))
+                .max()
+                .unwrap_or(0);
             if let Some(acc) = entry.inst.mem {
                 if !acc.is_store && !dependent && !entry.d_overlapped {
                     entry.d_overlapped = true;
-                    let resp = mem.access_data(core, acc.vaddr, false, multi_time);
+                    // The access is issued at its chain-ready time, not at
+                    // the scan time: a load waiting on an earlier overlapped
+                    // miss reaches the DRAM queue only after that miss
+                    // returns, so it must not be charged the same-cycle
+                    // queueing the truly-parallel misses pay.
+                    let resp = mem.access_data(core, acc.vaddr, false, multi_time + ready_at);
                     stats.overlapped_loads += 1;
                     if resp.is_long_latency() {
-                        slowest_overlapped = slowest_overlapped.max(resp.latency);
+                        let completes_at = ready_at + resp.latency;
+                        slowest_overlapped = slowest_overlapped.max(completes_at);
+                        if let Some(dst) = entry.inst.dst {
+                            chain[dst as usize] = completes_at;
+                            continue;
+                        }
                     }
+                    // Short (L2-hit) latencies are already accounted for by
+                    // the effective-dispatch-rate model through the old
+                    // window's critical path; adding them to the chain would
+                    // double-charge them.
                 }
+            }
+            if !dependent {
+                if let Some(dst) = entry.inst.dst {
+                    // Non-load results are ready when their inputs are (the
+                    // cycle-scale execution latency is negligible next to the
+                    // memory latencies the chain tracks).
+                    chain[dst as usize] = ready_at;
+                }
+            } else if let Some(dst) = entry.inst.dst {
+                // A root-dependent instruction executes only after the
+                // blocking load returns; it contributes no overlapped-chain
+                // latency, and its redefinition severs any earlier chain
+                // through this register.
+                chain[dst as usize] = 0;
             }
         }
         slowest_overlapped
@@ -427,11 +476,19 @@ mod tests {
             20_000,
             &IntervalCoreConfig::hpca2010_baseline(),
             &BranchPredictorConfig::perfect(),
-            &MemoryConfig::hpca2010_baseline(1).with_perfect_instruction_side().with_perfect_data_side(),
+            &MemoryConfig::hpca2010_baseline(1)
+                .with_perfect_instruction_side()
+                .with_perfect_data_side(),
         );
         let ipc = stats.ipc();
-        assert!(ipc > 1.0, "IPC {ipc} should be well above 1 with no miss events");
-        assert!(ipc <= 4.0 + 1e-9, "IPC {ipc} cannot exceed the dispatch width");
+        assert!(
+            ipc > 1.0,
+            "IPC {ipc} should be well above 1 with no miss events"
+        );
+        assert!(
+            ipc <= 4.0 + 1e-9,
+            "IPC {ipc} cannot exceed the dispatch width"
+        );
         assert_eq!(stats.long_latency_events, 0);
         assert_eq!(stats.branch_miss_events, 0);
         assert_eq!(stats.instruction_miss_events, 0);
@@ -495,7 +552,9 @@ mod tests {
             15_000,
             &IntervalCoreConfig::hpca2010_baseline(),
             &BranchPredictorConfig::perfect(),
-            &MemoryConfig::hpca2010_baseline(1).with_perfect_instruction_side().with_perfect_data_side(),
+            &MemoryConfig::hpca2010_baseline(1)
+                .with_perfect_instruction_side()
+                .with_perfect_data_side(),
         );
         let real = run_single(
             "gcc",
@@ -520,8 +579,13 @@ mod tests {
             20_000,
             &IntervalCoreConfig::hpca2010_baseline(),
             &BranchPredictorConfig::perfect(),
-            &MemoryConfig::hpca2010_baseline(1).with_perfect_instruction_side().with_perfect_data_side(),
+            &MemoryConfig::hpca2010_baseline(1)
+                .with_perfect_instruction_side()
+                .with_perfect_data_side(),
         );
-        assert!(stats.serializing_events > 0, "full-system profiles serialize occasionally");
+        assert!(
+            stats.serializing_events > 0,
+            "full-system profiles serialize occasionally"
+        );
     }
 }

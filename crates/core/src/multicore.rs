@@ -148,7 +148,11 @@ impl<S: InstructionStream> IntervalSimulator<S> {
                 CoreResult {
                     core: c.core_id(),
                     instructions: stats.instructions,
-                    cycles: if c.is_done() { stats.cycles } else { c.core_sim_time() },
+                    cycles: if c.is_done() {
+                        stats.cycles
+                    } else {
+                        c.core_sim_time()
+                    },
                     stats,
                 }
             })
@@ -259,7 +263,10 @@ mod tests {
         let r = sim.run_with_limit(200_000_000);
         assert_eq!(r.total_instructions, 200_000);
         let blocked: u64 = r.per_core.iter().map(|c| c.stats.sync_blocked_cycles).sum();
-        assert!(blocked > 0, "a lock/barrier-heavy workload must block at least once");
+        assert!(
+            blocked > 0,
+            "a lock/barrier-heavy workload must block at least once"
+        );
     }
 
     #[test]

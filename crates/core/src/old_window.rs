@@ -144,8 +144,7 @@ impl OldWindow {
     /// occupancy divided by the dispatch width and the critical path length.
     #[must_use]
     pub fn window_drain_time(&self) -> u64 {
-        let by_width =
-            (self.occupancy() as u64).div_ceil(u64::from(self.dispatch_width));
+        let by_width = (self.occupancy() as u64).div_ceil(u64::from(self.dispatch_width));
         by_width.max(self.critical_path_length())
     }
 
@@ -184,7 +183,12 @@ mod tests {
             op: OpClass::Load,
             srcs: [src, None],
             dst: Some(dst),
-            mem: Some(MemAccess { vaddr: addr, size: 8, is_store: false, shared: false }),
+            mem: Some(MemAccess {
+                vaddr: addr,
+                size: 8,
+                is_store: false,
+                shared: false,
+            }),
             branch: None,
             sync: None,
         }
@@ -197,7 +201,12 @@ mod tests {
             op: OpClass::Store,
             srcs: [src, None],
             dst: None,
-            mem: Some(MemAccess { vaddr: addr, size: 8, is_store: true, shared: false }),
+            mem: Some(MemAccess {
+                vaddr: addr,
+                size: 8,
+                is_store: true,
+                shared: false,
+            }),
             branch: None,
             sync: None,
         }
@@ -236,7 +245,10 @@ mod tests {
         }
         // Window of 64 over a fully serial chain: rate ~= 64 / 64 = 1.
         let rate = ow.effective_dispatch_rate(64);
-        assert!(rate <= 1.5, "rate {rate} should be near 1 for a fully serial chain");
+        assert!(
+            rate <= 1.5,
+            "rate {rate} should be near 1 for a fully serial chain"
+        );
     }
 
     #[test]

@@ -48,9 +48,10 @@ pub struct IntervalCoreStats {
     /// Penalty cycles charged to serializing instructions (window drain).
     pub serializing_penalty: u64,
     /// Portion of the long-latency penalty contributed by overlapped misses
-    /// whose latency exceeded the blocking load's own latency (off-chip
-    /// bandwidth queueing makes the group maximum larger than the head miss).
-    /// Included in `long_latency_penalty`.
+    /// whose completion exceeded the blocking load's own latency — off-chip
+    /// bandwidth queueing and the serialization of dependent (pointer-chase)
+    /// miss chains both make the group critical path longer than the head
+    /// miss. Included in `long_latency_penalty`.
     pub bandwidth_residual_penalty: u64,
 
     /// Miss events resolved underneath a long-latency load (second-order

@@ -267,16 +267,31 @@ mod tests {
         let load = inst(0, OpClass::Load, Some(1), [None, None]);
         let mut t = DependenceTracker::rooted_at(&load);
         let mut store = inst(1, OpClass::Store, None, [Some(1), None]);
-        store.mem = Some(MemAccess { vaddr: 0x2000, size: 8, is_store: true, shared: false });
+        store.mem = Some(MemAccess {
+            vaddr: 0x2000,
+            size: 8,
+            is_store: true,
+            shared: false,
+        });
         assert!(t.depends_and_propagate(&store));
         let mut later_load = inst(2, OpClass::Load, Some(5), [None, None]);
-        later_load.mem = Some(MemAccess { vaddr: 0x2008, size: 8, is_store: false, shared: false });
+        later_load.mem = Some(MemAccess {
+            vaddr: 0x2008,
+            size: 8,
+            is_store: false,
+            shared: false,
+        });
         assert!(
             t.depends_and_propagate(&later_load),
             "a load from the line written by a dependent store is dependent"
         );
         let mut other_load = inst(3, OpClass::Load, Some(6), [None, None]);
-        other_load.mem = Some(MemAccess { vaddr: 0x9000, size: 8, is_store: false, shared: false });
+        other_load.mem = Some(MemAccess {
+            vaddr: 0x9000,
+            size: 8,
+            is_store: false,
+            shared: false,
+        });
         assert!(!t.depends_and_propagate(&other_load));
     }
 }

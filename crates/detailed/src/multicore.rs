@@ -83,8 +83,16 @@ impl<S: InstructionStream> DetailedSimulator<S> {
         streams: Vec<S>,
         sync: SyncController,
     ) -> Self {
-        assert_eq!(streams.len(), mem_config.num_cores, "one stream per core is required");
-        assert_eq!(streams.len(), sync.num_threads(), "sync controller must cover every core");
+        assert_eq!(
+            streams.len(),
+            mem_config.num_cores,
+            "one stream per core is required"
+        );
+        assert_eq!(
+            streams.len(),
+            sync.num_threads(),
+            "sync controller must cover every core"
+        );
         let cores = streams
             .into_iter()
             .enumerate()
@@ -127,7 +135,11 @@ impl<S: InstructionStream> DetailedSimulator<S> {
                 DetailedCoreResult {
                     core: c.core_id(),
                     instructions: stats.instructions,
-                    cycles: if c.is_done() { stats.cycles } else { self.cycle },
+                    cycles: if c.is_done() {
+                        stats.cycles
+                    } else {
+                        self.cycle
+                    },
                     stats,
                 }
             })
@@ -136,7 +148,11 @@ impl<S: InstructionStream> DetailedSimulator<S> {
         DetailedSimResult {
             cycles: per_core.iter().map(|c| c.cycles).max().unwrap_or(0),
             per_core,
-            branch: self.cores.iter().map(OutOfOrderCore::branch_stats).collect(),
+            branch: self
+                .cores
+                .iter()
+                .map(OutOfOrderCore::branch_stats)
+                .collect(),
             memory: self.mem.stats(),
             host_seconds,
             total_instructions,
@@ -175,8 +191,16 @@ impl<S: InstructionStream> OneIpcSimulator<S> {
     /// Panics if the stream count does not match the configuration.
     #[must_use]
     pub fn new(mem_config: &MemoryConfig, streams: Vec<S>, sync: SyncController) -> Self {
-        assert_eq!(streams.len(), mem_config.num_cores, "one stream per core is required");
-        assert_eq!(streams.len(), sync.num_threads(), "sync controller must cover every core");
+        assert_eq!(
+            streams.len(),
+            mem_config.num_cores,
+            "one stream per core is required"
+        );
+        assert_eq!(
+            streams.len(),
+            sync.num_threads(),
+            "sync controller must cover every core"
+        );
         let cores = streams
             .into_iter()
             .enumerate()
@@ -208,7 +232,11 @@ impl<S: InstructionStream> OneIpcSimulator<S> {
                 DetailedCoreResult {
                     core: c.core_id(),
                     instructions: stats.instructions,
-                    cycles: if c.is_done() { stats.cycles } else { self.cycle },
+                    cycles: if c.is_done() {
+                        stats.cycles
+                    } else {
+                        self.cycle
+                    },
                     stats,
                 }
             })

@@ -151,7 +151,10 @@ mod tests {
         );
         assert_eq!(stats.instructions, 5_000);
         let ipc = stats.ipc();
-        assert!((ipc - 1.0).abs() < 0.01, "one-IPC model must give IPC ~ 1, got {ipc}");
+        assert!(
+            (ipc - 1.0).abs() < 0.01,
+            "one-IPC model must give IPC ~ 1, got {ipc}"
+        );
     }
 
     #[test]

@@ -183,9 +183,9 @@ impl<S: InstructionStream> OutOfOrderCore<S> {
 
     fn deps_ready(&self, deps: &[u64], now: u64) -> bool {
         deps.iter().all(|seq| match self.in_flight.get(seq) {
-            None => true,                       // already committed
-            Some(Some(t)) => *t <= now,         // issued, completes in time
-            Some(None) => false,                // not yet issued
+            None => true,               // already committed
+            Some(Some(t)) => *t <= now, // issued, completes in time
+            Some(None) => false,        // not yet issued
         })
     }
 
@@ -441,7 +441,12 @@ mod tests {
     ) -> DetailedCoreStats {
         let profile = catalog::profile(name).unwrap();
         let stream = SyntheticStream::new(&profile, 0, 17, len);
-        let mut core = OutOfOrderCore::new(0, &DetailedCoreConfig::hpca2010_baseline(), branch_cfg, stream);
+        let mut core = OutOfOrderCore::new(
+            0,
+            &DetailedCoreConfig::hpca2010_baseline(),
+            branch_cfg,
+            stream,
+        );
         let mut mem = MemoryHierarchy::new(mem_cfg);
         let mut sync = SyncController::new(1);
         let mut now = 0;
@@ -476,7 +481,10 @@ mod tests {
                 .with_perfect_data_side(),
         );
         let ipc = stats.ipc();
-        assert!(ipc > 1.0, "IPC {ipc} should be high with perfect components");
+        assert!(
+            ipc > 1.0,
+            "IPC {ipc} should be high with perfect components"
+        );
         assert!(ipc <= 4.0, "IPC {ipc} cannot exceed the 4-wide commit");
     }
 
@@ -518,7 +526,10 @@ mod tests {
             &BranchPredictorConfig::perfect(),
             &MemoryConfig::hpca2010_baseline(1).with_perfect_instruction_side(),
         );
-        assert!(real.cycles > perfect.cycles * 2, "mcf must be strongly memory-bound");
+        assert!(
+            real.cycles > perfect.cycles * 2,
+            "mcf must be strongly memory-bound"
+        );
     }
 
     #[test]

@@ -72,9 +72,18 @@ mod tests {
 
     #[test]
     fn ipc_is_instructions_over_cycles() {
-        let s = DetailedCoreStats { instructions: 300, cycles: 100, ..Default::default() };
+        let s = DetailedCoreStats {
+            instructions: 300,
+            cycles: 100,
+            ..Default::default()
+        };
         assert!((s.ipc() - 3.0).abs() < 1e-12);
-        let r = DetailedCoreResult { core: 0, instructions: 300, cycles: 100, stats: s };
+        let r = DetailedCoreResult {
+            core: 0,
+            instructions: 300,
+            cycles: 100,
+            stats: s,
+        };
         assert!((r.ipc() - 3.0).abs() < 1e-12);
     }
 

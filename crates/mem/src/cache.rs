@@ -101,12 +101,17 @@ impl CacheConfig {
         if !self.line_bytes.is_power_of_two() {
             return Err("line size must be a power of two".to_string());
         }
-        if self.size_bytes % (self.line_bytes * self.ways as u64) != 0 {
+        if !self
+            .size_bytes
+            .is_multiple_of(self.line_bytes * self.ways as u64)
+        {
             return Err("cache size must be divisible by ways * line size".to_string());
         }
         let sets = self.num_sets();
         if sets == 0 || !sets.is_power_of_two() {
-            return Err(format!("number of sets ({sets}) must be a non-zero power of two"));
+            return Err(format!(
+                "number of sets ({sets}) must be a non-zero power of two"
+            ));
         }
         Ok(())
     }
@@ -147,7 +152,9 @@ impl Cache {
     /// Panics if the configuration fails [`CacheConfig::validate`].
     #[must_use]
     pub fn new(config: &CacheConfig) -> Self {
-        config.validate().unwrap_or_else(|e| panic!("invalid cache configuration: {e}"));
+        config
+            .validate()
+            .unwrap_or_else(|e| panic!("invalid cache configuration: {e}"));
         let num_sets = config.num_sets();
         Cache {
             config: *config,
@@ -319,7 +326,11 @@ mod tests {
         let mut c = tiny();
         c.insert(0x1000, LineState::Shared);
         assert_eq!(c.access(0x103f), LineState::Shared);
-        assert_eq!(c.access(0x1040), LineState::Invalid, "next line is distinct");
+        assert_eq!(
+            c.access(0x1040),
+            LineState::Invalid,
+            "next line is distinct"
+        );
     }
 
     #[test]
@@ -332,7 +343,9 @@ mod tests {
         c.insert(a, LineState::Exclusive);
         c.insert(b, LineState::Exclusive);
         c.access(a); // a is now MRU
-        let ev = c.insert(d, LineState::Exclusive).expect("eviction expected");
+        let ev = c
+            .insert(d, LineState::Exclusive)
+            .expect("eviction expected");
         assert_eq!(ev.addr, b, "the LRU victim must be b");
         assert_eq!(c.probe(a), LineState::Exclusive);
         assert_eq!(c.probe(b), LineState::Invalid);
@@ -395,7 +408,10 @@ mod tests {
             }
         }
         let (_hits, misses) = c.stats();
-        assert!(misses >= 1024, "second pass over a 2x working set must still miss, got {misses}");
+        assert!(
+            misses >= 1024,
+            "second pass over a 2x working set must still miss, got {misses}"
+        );
     }
 
     #[test]

@@ -59,7 +59,9 @@ impl DramConfig {
     /// Cycles one line transfer occupies the channel.
     #[must_use]
     pub fn transfer_cycles(&self) -> u64 {
-        (self.line_bytes as f64 / self.bus_bytes_per_cycle).ceil().max(1.0) as u64
+        (self.line_bytes as f64 / self.bus_bytes_per_cycle)
+            .ceil()
+            .max(1.0) as u64
     }
 
     /// Validates the configuration.
@@ -87,17 +89,32 @@ impl Default for DramConfig {
     }
 }
 
-/// Single-channel DRAM with a busy-until pointer modeling bandwidth
-/// contention.
+/// Single-channel DRAM modeling bandwidth contention with a free-gap
+/// reservation schedule.
+///
+/// Requests do not necessarily arrive in time order: the interval model's
+/// overlap scan issues chained loads at their dependence-ready time, which
+/// can lie hundreds of cycles past the current multi-core cycle, while other
+/// cores keep issuing at the present. A single busy-until pointer would let
+/// such a future reservation delay every present-time request behind it, so
+/// the channel instead keeps the set of reserved busy intervals and places
+/// each request into the earliest gap at or after its own arrival time.
 #[derive(Debug, Clone)]
 pub struct DramModel {
     config: DramConfig,
-    /// Cycle at which the channel becomes free.
-    channel_free_at: u64,
+    /// Reserved busy intervals, keyed by start cycle (non-overlapping).
+    busy: std::collections::BTreeMap<u64, u64>,
+    /// Largest arrival time observed (drives pruning of stale intervals).
+    horizon: u64,
     accesses: u64,
     total_queue_cycles: u64,
     total_latency: u64,
 }
+
+/// Reservations ending this many cycles before the newest arrival can no
+/// longer conflict with any request (chain-deferred arrivals lag the present
+/// by far less) and are pruned.
+const PRUNE_LAG: u64 = 1 << 20;
 
 impl DramModel {
     /// Creates an idle DRAM channel.
@@ -107,10 +124,13 @@ impl DramModel {
     /// Panics if the configuration fails [`DramConfig::validate`].
     #[must_use]
     pub fn new(config: &DramConfig) -> Self {
-        config.validate().unwrap_or_else(|e| panic!("invalid DRAM configuration: {e}"));
+        config
+            .validate()
+            .unwrap_or_else(|e| panic!("invalid DRAM configuration: {e}"));
         DramModel {
             config: *config,
-            channel_free_at: 0,
+            busy: std::collections::BTreeMap::new(),
+            horizon: 0,
             accesses: 0,
             total_queue_cycles: 0,
             total_latency: 0,
@@ -123,13 +143,40 @@ impl DramModel {
         &self.config
     }
 
+    /// Reserves `dur` channel cycles in the earliest free gap starting at or
+    /// after `arrival`; returns the start of the reservation.
+    fn reserve(&mut self, arrival: u64, dur: u64) -> u64 {
+        let mut start = arrival;
+        loop {
+            // Intervals are non-overlapping, so the latest-starting interval
+            // that begins before `start + dur` is the only possible conflict;
+            // if it ends at or before `start`, every earlier one does too.
+            let conflict = self
+                .busy
+                .range(..start + dur)
+                .next_back()
+                .filter(|&(_, &end)| end > start)
+                .map(|(_, &end)| end);
+            match conflict {
+                Some(end) => start = end,
+                None => break,
+            }
+        }
+        self.busy.insert(start, start + dur);
+        self.horizon = self.horizon.max(arrival);
+        if self.accesses.is_multiple_of(1024) {
+            let cutoff = self.horizon.saturating_sub(PRUNE_LAG);
+            self.busy.retain(|_, end| *end >= cutoff);
+        }
+        start
+    }
+
     /// Performs one line access starting at cycle `now`; returns the total
     /// latency observed by the requester (queueing + access + transfer).
     pub fn access(&mut self, now: u64) -> u64 {
-        let start = now.max(self.channel_free_at);
-        let queue = start - now;
         let transfer = self.config.transfer_cycles();
-        self.channel_free_at = start + transfer;
+        let start = self.reserve(now, transfer);
+        let queue = start - now;
         let latency = queue + self.config.access_latency + transfer;
         self.accesses += 1;
         self.total_queue_cycles += queue;
@@ -140,9 +187,8 @@ impl DramModel {
     /// Performs a write-back: occupies the channel but the requester does not
     /// wait for it. Returns the queueing delay absorbed by the channel.
     pub fn writeback(&mut self, now: u64) -> u64 {
-        let start = now.max(self.channel_free_at);
+        let start = self.reserve(now, self.config.transfer_cycles());
         let queue = start - now;
-        self.channel_free_at = start + self.config.transfer_cycles();
         self.accesses += 1;
         self.total_queue_cycles += queue;
         queue

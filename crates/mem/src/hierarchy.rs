@@ -216,7 +216,13 @@ impl MemoryHierarchy {
 
     /// Performs a data access (load or store) for `core` at `vaddr` in cycle
     /// `now`; returns the extra latency and classification.
-    pub fn access_data(&mut self, core: usize, vaddr: u64, is_store: bool, now: u64) -> AccessResponse {
+    pub fn access_data(
+        &mut self,
+        core: usize,
+        vaddr: u64,
+        is_store: bool,
+        now: u64,
+    ) -> AccessResponse {
         let cfg = self.config;
         let mut latency = 0;
         let mut tlb_miss = false;
@@ -310,7 +316,11 @@ impl MemoryHierarchy {
             self.l1d[s].set_state(line, LineState::Shared);
         }
         let (latency, level) = self.read_from_l2_or_memory(core, line, now);
-        let new_state = if has_sharers { LineState::Shared } else { LineState::Exclusive };
+        let new_state = if has_sharers {
+            LineState::Shared
+        } else {
+            LineState::Exclusive
+        };
         self.install_l1d(core, line, new_state, now);
         (latency, level)
     }
@@ -390,7 +400,11 @@ impl MemoryHierarchy {
                     let dram_latency = self.dram.access(now);
                     // Fill the L2 (inclusive); its victim may need a
                     // write-back and back-invalidation of L1 copies.
-                    let evicted = self.l2.as_mut().expect("L2 present").insert(line, LineState::Exclusive);
+                    let evicted = self
+                        .l2
+                        .as_mut()
+                        .expect("L2 present")
+                        .insert(line, LineState::Exclusive);
                     if let Some(ev) = evicted {
                         self.handle_l2_eviction(core, ev.addr, ev.state, now);
                     }
@@ -454,9 +468,24 @@ mod tests {
     fn small_config(cores: usize) -> MemoryConfig {
         let mut c = MemoryConfig::hpca2010_baseline(cores);
         // Shrink the caches so capacity behaviour is testable with few accesses.
-        c.l1i = CacheConfig { size_bytes: 4096, ways: 2, line_bytes: 64, latency: 0 };
-        c.l1d = CacheConfig { size_bytes: 4096, ways: 2, line_bytes: 64, latency: 0 };
-        c.l2 = Some(CacheConfig { size_bytes: 64 * 1024, ways: 4, line_bytes: 64, latency: 12 });
+        c.l1i = CacheConfig {
+            size_bytes: 4096,
+            ways: 2,
+            line_bytes: 64,
+            latency: 0,
+        };
+        c.l1d = CacheConfig {
+            size_bytes: 4096,
+            ways: 2,
+            line_bytes: 64,
+            latency: 0,
+        };
+        c.l2 = Some(CacheConfig {
+            size_bytes: 64 * 1024,
+            ways: 4,
+            line_bytes: 64,
+            latency: 12,
+        });
         c
     }
 
@@ -622,7 +651,12 @@ mod tests {
     #[test]
     fn dram_contention_shows_up_under_load() {
         let mut cfg = small_config(2);
-        cfg.l2 = Some(CacheConfig { size_bytes: 8 * 1024, ways: 2, line_bytes: 64, latency: 12 });
+        cfg.l2 = Some(CacheConfig {
+            size_bytes: 8 * 1024,
+            ways: 2,
+            line_bytes: 64,
+            latency: 12,
+        });
         let mut m = MemoryHierarchy::new(&cfg);
         // Many simultaneous misses at the same cycle: the channel serializes.
         let mut latencies = Vec::new();
@@ -657,7 +691,12 @@ mod tests {
     fn l2_eviction_back_invalidates_l1() {
         let mut cfg = small_config(1);
         // L2 as small as the L1 so it evicts quickly.
-        cfg.l2 = Some(CacheConfig { size_bytes: 4096, ways: 1, line_bytes: 64, latency: 12 });
+        cfg.l2 = Some(CacheConfig {
+            size_bytes: 4096,
+            ways: 1,
+            line_bytes: 64,
+            latency: 12,
+        });
         let mut m = MemoryHierarchy::new(&cfg);
         m.access_data(0, 0x0, false, 0);
         assert!(m.l1d_state(0, 0x0).is_valid());

@@ -100,16 +100,30 @@ mod tests {
 
     #[test]
     fn mpki_handles_zero_instructions() {
-        let s = CoreMemoryStats { l1d_misses: 5, ..Default::default() };
+        let s = CoreMemoryStats {
+            l1d_misses: 5,
+            ..Default::default()
+        };
         assert_eq!(s.l1d_mpki(0), 0.0);
         assert!((s.l1d_mpki(1000) - 5.0).abs() < 1e-12);
     }
 
     #[test]
     fn accumulate_and_totals() {
-        let a = CoreMemoryStats { l1d_misses: 3, l2_hits: 2, ..Default::default() };
-        let b = CoreMemoryStats { l1d_misses: 7, dram_reads: 1, ..Default::default() };
-        let stats = MemoryStats { per_core: vec![a, b], ..Default::default() };
+        let a = CoreMemoryStats {
+            l1d_misses: 3,
+            l2_hits: 2,
+            ..Default::default()
+        };
+        let b = CoreMemoryStats {
+            l1d_misses: 7,
+            dram_reads: 1,
+            ..Default::default()
+        };
+        let stats = MemoryStats {
+            per_core: vec![a, b],
+            ..Default::default()
+        };
         let t = stats.totals();
         assert_eq!(t.l1d_misses, 10);
         assert_eq!(t.l2_hits, 2);

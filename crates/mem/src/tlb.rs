@@ -76,7 +76,9 @@ impl Tlb {
     /// Panics if the configuration fails [`TlbConfig::validate`].
     #[must_use]
     pub fn new(config: &TlbConfig) -> Self {
-        config.validate().unwrap_or_else(|e| panic!("invalid TLB configuration: {e}"));
+        config
+            .validate()
+            .unwrap_or_else(|e| panic!("invalid TLB configuration: {e}"));
         Tlb {
             config: *config,
             pages: Vec::with_capacity(config.entries),

@@ -201,7 +201,12 @@ pub struct SpeedupRow {
     pub interval_seconds: f64,
 }
 
-fn single_ipc(model: CoreModel, config: &SystemConfig, benchmark: &str, scale: ExperimentScale) -> f64 {
+fn single_ipc(
+    model: CoreModel,
+    config: &SystemConfig,
+    benchmark: &str,
+    scale: ExperimentScale,
+) -> f64 {
     let spec = WorkloadSpec::single(benchmark, scale.spec_length);
     run(model, config, &spec, scale.seed).core_ipc(0)
 }
@@ -252,8 +257,10 @@ pub fn fig6(benchmarks: &[&str], copy_counts: &[usize], scale: ExperimentScale) 
     let mut rows = Vec::new();
     for benchmark in benchmarks {
         // The single-program baseline per model (C_i^SP).
-        let detailed_single = homogeneous_run(CoreModel::Detailed, benchmark, 1, scale).per_core[0].cycles;
-        let interval_single = homogeneous_run(CoreModel::Interval, benchmark, 1, scale).per_core[0].cycles;
+        let detailed_single =
+            homogeneous_run(CoreModel::Detailed, benchmark, 1, scale).per_core[0].cycles;
+        let interval_single =
+            homogeneous_run(CoreModel::Interval, benchmark, 1, scale).per_core[0].cycles;
         for &copies in copy_counts {
             let detailed = homogeneous_run(CoreModel::Detailed, benchmark, copies, scale);
             let interval = homogeneous_run(CoreModel::Interval, benchmark, copies, scale);
@@ -365,7 +372,11 @@ pub fn fig9(benchmarks: &[&str], core_counts: &[usize], scale: ExperimentScale) 
 /// Figure 10: simulation speedup of interval over detailed simulation for
 /// the multi-threaded PARSEC workloads.
 #[must_use]
-pub fn fig10(benchmarks: &[&str], core_counts: &[usize], scale: ExperimentScale) -> Vec<SpeedupRow> {
+pub fn fig10(
+    benchmarks: &[&str],
+    core_counts: &[usize],
+    scale: ExperimentScale,
+) -> Vec<SpeedupRow> {
     let mut rows = Vec::new();
     for benchmark in benchmarks {
         for &cores in core_counts {
@@ -439,7 +450,8 @@ pub fn ablation(benchmarks: &[&str], scale: ExperimentScale) -> Vec<AblationRow>
                 interval_ipc: run(CoreModel::Interval, &baseline, &spec, scale.seed).core_ipc(0),
                 no_overlap_ipc: run(CoreModel::Interval, &no_overlap_cfg, &spec, scale.seed)
                     .core_ipc(0),
-                no_reset_ipc: run(CoreModel::Interval, &no_reset_cfg, &spec, scale.seed).core_ipc(0),
+                no_reset_ipc: run(CoreModel::Interval, &no_reset_cfg, &spec, scale.seed)
+                    .core_ipc(0),
                 one_ipc_ipc: run(CoreModel::OneIpc, &baseline, &spec, scale.seed).core_ipc(0),
             }
         })
@@ -460,7 +472,11 @@ mod tests {
 
     #[test]
     fn fig4_variants_produce_rows_with_bounded_error() {
-        let rows = fig4(Fig4Variant::EffectiveDispatchRate, &["gzip", "swim"], tiny());
+        let rows = fig4(
+            Fig4Variant::EffectiveDispatchRate,
+            &["gzip", "swim"],
+            tiny(),
+        );
         assert_eq!(rows.len(), 2);
         for row in &rows {
             assert!(row.detailed_ipc > 0.0 && row.interval_ipc > 0.0);
@@ -535,7 +551,12 @@ mod tests {
             row.interval_ipc
         );
         // Every variant produces a usable (positive, bounded) estimate.
-        for ipc in [row.interval_ipc, row.no_overlap_ipc, row.no_reset_ipc, row.one_ipc_ipc] {
+        for ipc in [
+            row.interval_ipc,
+            row.no_overlap_ipc,
+            row.no_reset_ipc,
+            row.one_ipc_ipc,
+        ] {
             assert!(ipc > 0.0 && ipc <= 4.0);
         }
         assert_eq!(row.errors().len(), 4);

@@ -34,7 +34,11 @@ pub fn relative_error(estimated: f64, reference: f64) -> f64 {
 /// Panics if the slices have different lengths or contain zero cycle counts.
 #[must_use]
 pub fn stp(single_cycles: &[u64], multi_cycles: &[u64]) -> f64 {
-    assert_eq!(single_cycles.len(), multi_cycles.len(), "per-program slices must match");
+    assert_eq!(
+        single_cycles.len(),
+        multi_cycles.len(),
+        "per-program slices must match"
+    );
     single_cycles
         .iter()
         .zip(multi_cycles)
@@ -53,8 +57,15 @@ pub fn stp(single_cycles: &[u64], multi_cycles: &[u64]) -> f64 {
 /// cycle counts.
 #[must_use]
 pub fn antt(single_cycles: &[u64], multi_cycles: &[u64]) -> f64 {
-    assert_eq!(single_cycles.len(), multi_cycles.len(), "per-program slices must match");
-    assert!(!single_cycles.is_empty(), "at least one program is required");
+    assert_eq!(
+        single_cycles.len(),
+        multi_cycles.len(),
+        "per-program slices must match"
+    );
+    assert!(
+        !single_cycles.is_empty(),
+        "at least one program is required"
+    );
     let sum: f64 = single_cycles
         .iter()
         .zip(multi_cycles)

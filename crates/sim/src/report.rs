@@ -126,7 +126,10 @@ pub fn format_speedup_table(rows: &[SpeedupRow]) -> String {
         ));
     }
     let speedups: Vec<f64> = rows.iter().map(|r| r.speedup).collect();
-    out.push_str(&format!("average speedup {:.1}x\n", metrics::mean(&speedups)));
+    out.push_str(&format!(
+        "average speedup {:.1}x\n",
+        metrics::mean(&speedups)
+    ));
     out
 }
 

@@ -114,7 +114,12 @@ impl SimSummary {
 /// Panics if the workload cannot be built (unknown benchmark, zero sizes) or
 /// if the workload's core count does not match the configuration.
 #[must_use]
-pub fn run(model: CoreModel, config: &SystemConfig, workload: &WorkloadSpec, seed: u64) -> SimSummary {
+pub fn run(
+    model: CoreModel,
+    config: &SystemConfig,
+    workload: &WorkloadSpec,
+    seed: u64,
+) -> SimSummary {
     let built = workload
         .build(seed)
         .unwrap_or_else(|e| panic!("cannot build workload `{}`: {e}", workload.label()));

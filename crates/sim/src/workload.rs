@@ -95,11 +95,15 @@ impl WorkloadSpec {
     pub fn label(&self) -> String {
         match self {
             WorkloadSpec::Single { benchmark, .. } => benchmark.clone(),
-            WorkloadSpec::MultiprogramHomogeneous { benchmark, copies, .. } => {
+            WorkloadSpec::MultiprogramHomogeneous {
+                benchmark, copies, ..
+            } => {
                 format!("{benchmark}x{copies}")
             }
             WorkloadSpec::Multiprogram { benchmarks, .. } => benchmarks.join("+"),
-            WorkloadSpec::Multithreaded { benchmark, threads, .. } => {
+            WorkloadSpec::Multithreaded {
+                benchmark, threads, ..
+            } => {
                 format!("{benchmark}.{threads}t")
             }
         }
@@ -153,7 +157,11 @@ impl WorkloadSpec {
                     .iter()
                     .map(|b| Self::lookup(b))
                     .collect::<Result<Vec<_>, _>>()?;
-                Ok(ThreadedWorkload::multiprogram(&profiles, seed, *length_per_copy))
+                Ok(ThreadedWorkload::multiprogram(
+                    &profiles,
+                    seed,
+                    *length_per_copy,
+                ))
             }
             WorkloadSpec::Multithreaded {
                 benchmark,
@@ -164,7 +172,12 @@ impl WorkloadSpec {
                     return Err("threads and total_length must be non-zero".to_string());
                 }
                 let p = Self::lookup(benchmark)?;
-                Ok(ThreadedWorkload::multithreaded(&p, *threads, seed, *total_length))
+                Ok(ThreadedWorkload::multithreaded(
+                    &p,
+                    *threads,
+                    seed,
+                    *total_length,
+                ))
             }
         }
     }

@@ -201,7 +201,11 @@ fn build_spec(name: &str) -> WorkloadProfile {
         _ => unreachable!("unknown SPEC benchmark {name}"),
     };
     let (float_mix, mem, streaming, chase, branchy, code_kib, dep, cold_mib, warm_kib) = k;
-    let suite = if float_mix { Suite::SpecFp } else { Suite::SpecInt };
+    let suite = if float_mix {
+        Suite::SpecFp
+    } else {
+        Suite::SpecInt
+    };
     Knobs {
         suite,
         float_mix,
@@ -330,7 +334,10 @@ mod tests {
     #[test]
     fn fig6_benchmarks_are_in_spec_catalog() {
         for name in FIG6_BENCHMARKS {
-            assert!(SPEC_CPU2000.contains(&name), "{name} missing from SPEC list");
+            assert!(
+                SPEC_CPU2000.contains(&name),
+                "{name} missing from SPEC list"
+            );
         }
     }
 

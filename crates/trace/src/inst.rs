@@ -67,7 +67,11 @@ impl OpClass {
     pub fn is_integer(self) -> bool {
         matches!(
             self,
-            OpClass::IntAlu | OpClass::IntMul | OpClass::IntDiv | OpClass::Branch | OpClass::Serialize
+            OpClass::IntAlu
+                | OpClass::IntMul
+                | OpClass::IntDiv
+                | OpClass::Branch
+                | OpClass::Serialize
         )
     }
 
@@ -251,8 +255,9 @@ mod tests {
             OpClass::Serialize,
         ];
         for op in all {
-            let clusters =
-                usize::from(op.is_integer()) + usize::from(op.is_float()) + usize::from(op.is_memory());
+            let clusters = usize::from(op.is_integer())
+                + usize::from(op.is_float())
+                + usize::from(op.is_memory());
             assert_eq!(clusters, 1, "{op:?} must belong to exactly one cluster");
         }
     }
@@ -266,7 +271,10 @@ mod tests {
             fallthrough: 0x1004,
         };
         assert_eq!(taken.next_pc(), 0x4000);
-        let not_taken = BranchInfo { taken: false, ..taken };
+        let not_taken = BranchInfo {
+            taken: false,
+            ..taken
+        };
         assert_eq!(not_taken.next_pc(), 0x1004);
     }
 

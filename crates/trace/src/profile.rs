@@ -104,7 +104,9 @@ impl MixWeights {
         ];
         for (name, v) in fields {
             if !(0.0..=1.0).contains(&v) {
-                return Err(format!("instruction-mix fraction `{name}` = {v} is outside [0, 1]"));
+                return Err(format!(
+                    "instruction-mix fraction `{name}` = {v} is outside [0, 1]"
+                ));
             }
         }
         let total = self.total();
@@ -204,7 +206,9 @@ impl MemoryBehavior {
             ("shared_write_frac", self.shared_write_frac),
         ] {
             if !(0.0..=1.0).contains(&p) {
-                return Err(format!("memory-behaviour probability `{name}` = {p} is outside [0, 1]"));
+                return Err(format!(
+                    "memory-behaviour probability `{name}` = {p} is outside [0, 1]"
+                ));
             }
         }
         if self.p_hot + self.p_warm > 1.0 {
@@ -295,7 +299,9 @@ impl BranchBehavior {
             ("indirect_frac", self.indirect_frac),
         ] {
             if !(0.0..=1.0).contains(&p) {
-                return Err(format!("branch-behaviour probability `{name}` = {p} is outside [0, 1]"));
+                return Err(format!(
+                    "branch-behaviour probability `{name}` = {p} is outside [0, 1]"
+                ));
             }
         }
         if self.biased_frac + self.loop_frac > 1.0 {

@@ -104,7 +104,9 @@ impl ProgramLayout {
         let block_body_len = ((1.0 / branch_frac) - 1.0).round().max(1.0) as u32;
         let block_bytes = u64::from(block_body_len + 1) * INST_BYTES;
         let blocks_from_footprint = (profile.code_footprint / block_bytes).max(8) as usize;
-        let num_blocks = blocks_from_footprint.max(b.static_branches as usize / 4).max(8);
+        let num_blocks = blocks_from_footprint
+            .max(b.static_branches as usize / 4)
+            .max(8);
 
         let mut branches = Vec::with_capacity(num_blocks);
         let mut block_pc = Vec::with_capacity(num_blocks);
@@ -257,7 +259,11 @@ impl SyntheticStream {
         } else {
             0
         };
-        let lock_period = if num_threads > 1 { profile.sync.lock_period } else { 0 };
+        let lock_period = if num_threads > 1 {
+            profile.sync.lock_period
+        } else {
+            0
+        };
 
         let current_block = 0;
         SyntheticStream {
@@ -279,13 +285,56 @@ impl SyntheticStream {
             stream_cursor: 0,
             data_base: THREAD_DATA_STRIDE * thread as u64,
             barrier_period,
-            next_barrier_at: if barrier_period > 0 { barrier_period } else { u64::MAX },
+            next_barrier_at: if barrier_period > 0 {
+                barrier_period
+            } else {
+                u64::MAX
+            },
             next_barrier_id: 1,
             lock_period,
-            next_lock_at: if lock_period > 0 { lock_period } else { u64::MAX },
+            next_lock_at: if lock_period > 0 {
+                lock_period
+            } else {
+                u64::MAX
+            },
             critical_remaining: 0,
             held_lock: None,
         }
+    }
+
+    /// Creates one copy of a multi-programmed workload: the *same* execution
+    /// as [`SyntheticStream::new`] with thread 0 (identical instruction
+    /// sequence, branch outcomes and relative data layout), relocated into
+    /// `copy`'s private address space.
+    ///
+    /// Identical-but-relocated copies are what the paper's Figure 6 runs:
+    /// co-scheduling `n` instances of the same program means each instance
+    /// executes the same work, and any per-copy slowdown relative to the solo
+    /// run is attributable purely to shared-resource contention. (Deriving
+    /// per-copy streams from different seeds instead would confound
+    /// contention with workload variation and break the STP/ANTT baselines.)
+    ///
+    /// Independent programs share nothing, so the profile's shared-data
+    /// fraction is folded back into the private regions and no
+    /// synchronization is scheduled.
+    #[must_use]
+    pub fn program_copy(profile: &WorkloadProfile, copy: ThreadId, seed: u64, length: u64) -> Self {
+        let mut private = profile.clone();
+        private.memory.shared_frac = 0.0;
+        private.memory.shared_bytes = 0;
+        let mut s = Self::with_threads(&private, 0, 1, seed, length);
+        s.thread = copy;
+        s.data_base = THREAD_DATA_STRIDE * copy as u64;
+        // Relocate the code as well: independent processes do not share text
+        // pages here, so co-running copies must not warm the shared L2 for
+        // each other's instruction fetches (that would let a copy run
+        // *faster* than its solo baseline and push STP above the copy
+        // count). The stride preserves the low address bits, so cache-set
+        // mapping is identical to the solo run.
+        for pc in &mut s.layout.block_pc {
+            *pc += s.data_base;
+        }
+        s
     }
 
     /// The workload profile this stream was built from.
@@ -340,7 +389,11 @@ impl SyntheticStream {
     /// instructions ago (geometric distribution), creating realistic
     /// dependence chains.
     fn pick_src(&mut self, fp: bool) -> Option<RegId> {
-        let pool = if fp { &self.recent_fp_dsts } else { &self.recent_int_dsts };
+        let pool = if fp {
+            &self.recent_fp_dsts
+        } else {
+            &self.recent_int_dsts
+        };
         if pool.is_empty() {
             return None;
         }
@@ -376,7 +429,9 @@ impl SyntheticStream {
             // is what lets the shared L2 capture it — and what lets
             // co-running copies evict each other (Figure 6).
             let off = if self.rng.gen::<f64>() < 0.9 {
-                let reused_span = (mem.warm_bytes / 32).clamp(32 * 1024, 256 * 1024).min(mem.warm_bytes);
+                let reused_span = (mem.warm_bytes / 32)
+                    .clamp(32 * 1024, 256 * 1024)
+                    .min(mem.warm_bytes);
                 self.rng.gen_range(0..reused_span) & !0x7
             } else {
                 self.rng.gen_range(0..mem.warm_bytes) & !0x7
@@ -405,7 +460,11 @@ impl SyntheticStream {
                 is_store = true;
             }
         }
-        let op = if is_store { OpClass::Store } else { OpClass::Load };
+        let op = if is_store {
+            OpClass::Store
+        } else {
+            OpClass::Load
+        };
         let mut srcs = [self.pick_src(false), None];
         // Pointer chasing: the address depends on the most recent load.
         if !is_store && self.rng.gen::<f64>() < self.profile.memory.pointer_chase {
@@ -417,7 +476,11 @@ impl SyntheticStream {
             // A store also reads the value it writes.
             srcs[1] = self.pick_src(false);
         }
-        let dst = if is_store { None } else { Some(self.alloc_dst(false)) };
+        let dst = if is_store {
+            None
+        } else {
+            Some(self.alloc_dst(false))
+        };
         if !is_store {
             self.last_load_dst = dst;
         }
@@ -472,9 +535,17 @@ impl SyntheticStream {
         DynInst {
             seq,
             pc,
-            op: if acquire { OpClass::Load } else { OpClass::Store },
+            op: if acquire {
+                OpClass::Load
+            } else {
+                OpClass::Store
+            },
             srcs: [self.pick_src(false), None],
-            dst: if acquire { Some(self.alloc_dst(false)) } else { None },
+            dst: if acquire {
+                Some(self.alloc_dst(false))
+            } else {
+                None
+            },
             mem: Some(MemAccess {
                 vaddr,
                 size: 8,
@@ -538,7 +609,11 @@ impl SyntheticStream {
             }
         }
 
-        let next_block = if taken { target_block } else { fallthrough_block };
+        let next_block = if taken {
+            target_block
+        } else {
+            fallthrough_block
+        };
         let target = self.layout.block_pc[target_block];
 
         let src = self.pick_src(false);
@@ -605,7 +680,8 @@ impl InstructionStream for SyntheticStream {
                 // explicit classes is single-cycle integer ALU filler.
                 let scale = |x: f64| x / (1.0 - mix.branch).max(1e-9);
                 let mut acc = scale(mix.load);
-                let inst = if r < acc {
+
+                if r < acc {
                     self.emit_memory(seq, pc, false)
                 } else if r < {
                     acc += scale(mix.store);
@@ -626,7 +702,11 @@ impl InstructionStream for SyntheticStream {
                     acc += scale(mix.fp);
                     acc
                 } {
-                    let op = if self.rng.gen::<bool>() { OpClass::FpAlu } else { OpClass::FpMul };
+                    let op = if self.rng.gen::<bool>() {
+                        OpClass::FpAlu
+                    } else {
+                        OpClass::FpMul
+                    };
                     self.emit_compute(seq, pc, op)
                 } else if r < {
                     acc += scale(mix.fp_div);
@@ -640,8 +720,7 @@ impl InstructionStream for SyntheticStream {
                     self.emit_serializing(seq, pc, None)
                 } else {
                     self.emit_compute(seq, pc, OpClass::IntAlu)
-                };
-                inst
+                }
             }
         };
 
@@ -724,7 +803,11 @@ mod tests {
         let loads = v.iter().filter(|i| i.is_load()).count() as f64 / n;
         let branches = v.iter().filter(|i| i.is_branch()).count() as f64 / n;
         let p = catalog::profile("gcc").unwrap();
-        assert!((loads - p.mix.load).abs() < 0.08, "load fraction {loads} vs {}", p.mix.load);
+        assert!(
+            (loads - p.mix.load).abs() < 0.08,
+            "load fraction {loads} vs {}",
+            p.mix.load
+        );
         assert!(
             (branches - p.mix.branch).abs() < 0.08,
             "branch fraction {branches} vs {}",
@@ -771,7 +854,10 @@ mod tests {
                 _ => {}
             }
         }
-        assert!(barriers >= 1, "expected at least one barrier, got {barriers}");
+        assert!(
+            barriers >= 1,
+            "expected at least one barrier, got {barriers}"
+        );
         assert!(acquires >= 2, "expected lock acquires, got {acquires}");
         assert_eq!(acquires, releases + usize::from(acquires > releases));
     }

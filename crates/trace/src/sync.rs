@@ -140,10 +140,8 @@ impl SyncController {
     }
 
     fn maybe_release_barrier(&mut self, id: u64) -> bool {
-        let all_arrived = (0..self.num_threads).all(|t| {
-            self.finished[t]
-                || matches!(self.barrier_arrived[t], Some(b) if b >= id)
-        });
+        let all_arrived = (0..self.num_threads)
+            .all(|t| self.finished[t] || matches!(self.barrier_arrived[t], Some(b) if b >= id));
         if all_arrived {
             for t in 0..self.num_threads {
                 if matches!(self.state[t], BlockReason::AtBarrier(b) if b <= id) {
@@ -260,7 +258,10 @@ mod tests {
     fn barrier_ignores_finished_threads() {
         let mut s = SyncController::new(2);
         s.mark_finished(1);
-        assert!(s.arrive_barrier(0, 1), "lone live thread releases immediately");
+        assert!(
+            s.arrive_barrier(0, 1),
+            "lone live thread releases immediately"
+        );
         assert!(!s.is_blocked(0));
     }
 
@@ -270,7 +271,10 @@ mod tests {
         assert!(!s.arrive_barrier(0, 1));
         assert!(s.is_blocked(0));
         s.mark_finished(1);
-        assert!(!s.is_blocked(0), "finish of the other thread must release the barrier");
+        assert!(
+            !s.is_blocked(0),
+            "finish of the other thread must release the barrier"
+        );
     }
 
     #[test]

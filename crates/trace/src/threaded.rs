@@ -38,7 +38,12 @@ impl ThreadedWorkload {
     ///
     /// Panics if `threads == 0` or `length == 0`.
     #[must_use]
-    pub fn multithreaded(profile: &WorkloadProfile, threads: usize, seed: u64, length: u64) -> Self {
+    pub fn multithreaded(
+        profile: &WorkloadProfile,
+        threads: usize,
+        seed: u64,
+        length: u64,
+    ) -> Self {
         assert!(threads > 0, "a workload needs at least one thread");
         assert!(length > 0, "workload length must be non-zero");
         // Load imbalance: the total work is divided unevenly, so the slowest
@@ -92,9 +97,11 @@ impl ThreadedWorkload {
         assert!(length_per_copy > 0, "workload length must be non-zero");
         let streams = (0..copies)
             .map(|t| {
-                // Each copy is an independent run: distinct seed, private data,
-                // but the same program (profile).
-                SyntheticStream::with_threads(profile, t, copies, seed.wrapping_add(t as u64 * 7919), length_per_copy)
+                // Every copy is the same execution relocated into a private
+                // address space, so per-copy slowdown relative to the solo run
+                // measures shared-resource contention and nothing else (the
+                // assumption behind the Figure 6 STP/ANTT baselines).
+                SyntheticStream::program_copy(profile, t, seed, length_per_copy)
             })
             .collect();
         ThreadedWorkload {
@@ -113,12 +120,24 @@ impl ThreadedWorkload {
     /// Panics if `profiles` is empty or `length_per_copy == 0`.
     #[must_use]
     pub fn multiprogram(profiles: &[WorkloadProfile], seed: u64, length_per_copy: u64) -> Self {
-        assert!(!profiles.is_empty(), "a workload needs at least one program");
+        assert!(
+            !profiles.is_empty(),
+            "a workload needs at least one program"
+        );
         assert!(length_per_copy > 0, "workload length must be non-zero");
+        // Distinct programs get distinct seeds; the copy index keeps their
+        // private data regions disjoint.
         let streams = profiles
             .iter()
             .enumerate()
-            .map(|(t, p)| SyntheticStream::new(p, 0, seed.wrapping_add(t as u64 * 104_729), length_per_copy))
+            .map(|(t, p)| {
+                SyntheticStream::program_copy(
+                    p,
+                    t,
+                    seed.wrapping_add(t as u64 * 104_729),
+                    length_per_copy,
+                )
+            })
             .collect();
         let name = profiles
             .iter()
@@ -127,21 +146,7 @@ impl ThreadedWorkload {
             .join("+");
         ThreadedWorkload {
             name,
-            streams: {
-                let mut s: Vec<SyntheticStream> = streams;
-                // Re-tag thread indices so per-core private data regions do not
-                // alias: rebuild with the per-core thread index.
-                for (t, (stream, p)) in s.iter_mut().zip(profiles.iter()).enumerate() {
-                    *stream = SyntheticStream::with_threads(
-                        p,
-                        t,
-                        profiles.len(),
-                        seed.wrapping_add(t as u64 * 104_729),
-                        length_per_copy,
-                    );
-                }
-                s
-            },
+            streams,
             sync: SyncController::new(profiles.len()),
             multithreaded: false,
         }
@@ -154,11 +159,16 @@ impl ThreadedWorkload {
     /// Panics if `length == 0`.
     #[must_use]
     pub fn single(profile: &WorkloadProfile, seed: u64, length: u64) -> Self {
-        Self::multithreaded(&{
-            // A single-threaded run of a PARSEC profile still runs without
-            // synchronization (there is nothing to synchronize with).
-            profile.clone()
-        }, 1, seed, length)
+        Self::multithreaded(
+            &{
+                // A single-threaded run of a PARSEC profile still runs without
+                // synchronization (there is nothing to synchronize with).
+                profile.clone()
+            },
+            1,
+            seed,
+            length,
+        )
     }
 
     /// Workload name.
@@ -183,7 +193,10 @@ impl ThreadedWorkload {
     /// Total number of instructions across all streams.
     #[must_use]
     pub fn total_instructions(&self) -> u64 {
-        self.streams.iter().map(SyntheticStream::total_instructions).sum()
+        self.streams
+            .iter()
+            .map(SyntheticStream::total_instructions)
+            .sum()
     }
 
     /// Instructions of the stream assigned to one core.
@@ -221,7 +234,10 @@ mod tests {
         assert_eq!(w.total_instructions(), 40_000);
         for c in 0..4 {
             let per = w.instructions_on_core(c);
-            assert!((9_000..=11_000).contains(&per), "blackscholes is nearly balanced, got {per}");
+            assert!(
+                (9_000..=11_000).contains(&per),
+                "blackscholes is nearly balanced, got {per}"
+            );
         }
     }
 

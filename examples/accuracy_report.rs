@@ -14,7 +14,9 @@ fn main() {
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(100_000);
-    let benchmarks = ["gzip", "gcc", "crafty", "twolf", "mcf", "art", "mesa", "swim"];
+    let benchmarks = [
+        "gzip", "gcc", "crafty", "twolf", "mcf", "art", "mesa", "swim",
+    ];
     let config = SystemConfig::hpca2010_baseline(1);
 
     println!(

@@ -40,8 +40,7 @@ fn main() {
             let singles = vec![single_cycles; copies];
             let stp = metrics::stp(&singles, &multi_cycles);
             let antt = metrics::antt(&singles, &multi_cycles);
-            let mean_ipc =
-                multi.per_core.iter().map(|c| c.ipc()).sum::<f64>() / copies as f64;
+            let mean_ipc = multi.per_core.iter().map(|c| c.ipc()).sum::<f64>() / copies as f64;
             let queue_frac = if multi.cycles > 0 {
                 100.0 * multi.memory.dram_queue_cycles as f64
                     / (multi.memory.dram_transactions.max(1) as f64

@@ -12,10 +12,7 @@ use interval_sim::trace::{catalog, ThreadedWorkload};
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let benchmark = args.get(1).map(String::as_str).unwrap_or("mcf");
-    let instructions: u64 = args
-        .get(2)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(200_000);
+    let instructions: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(200_000);
 
     let Some(profile) = catalog::profile(benchmark) else {
         eprintln!("unknown benchmark `{benchmark}`; available:");
@@ -40,8 +37,10 @@ fn main() {
     println!();
     println!("cycles                    {}", core.cycles);
     println!("IPC                       {:.3}", core.ipc());
-    println!("host simulation speed     {:.0} simulated instructions / second",
-        result.instructions_per_host_second());
+    println!(
+        "host simulation speed     {:.0} simulated instructions / second",
+        result.instructions_per_host_second()
+    );
     println!();
     println!("miss-event breakdown (intervals: {}):", stats.intervals);
     println!(
@@ -66,8 +65,20 @@ fn main() {
     println!("  overlapped branches     {:>8}", stats.overlapped_branches);
     println!();
     println!("memory hierarchy:");
-    println!("  L1D misses / KI         {:>8.2}", mem.l1d_mpki(core.instructions));
-    println!("  L2 misses / KI          {:>8.2}", mem.l2_mpki(core.instructions));
-    println!("  branch MPKI             {:>8.2}", result.branch[0].mpki(core.instructions));
-    println!("  average interval length {:>8.1} instructions", stats.average_interval_length());
+    println!(
+        "  L1D misses / KI         {:>8.2}",
+        mem.l1d_mpki(core.instructions)
+    );
+    println!(
+        "  L2 misses / KI          {:>8.2}",
+        mem.l2_mpki(core.instructions)
+    );
+    println!(
+        "  branch MPKI             {:>8.2}",
+        result.branch[0].mpki(core.instructions)
+    );
+    println!(
+        "  average interval length {:>8.1} instructions",
+        stats.average_interval_length()
+    );
 }

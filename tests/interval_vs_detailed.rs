@@ -50,8 +50,14 @@ fn interval_preserves_the_benchmark_ranking_of_detailed_simulation() {
     let config = SystemConfig::hpca2010_baseline(1);
     let (d_mcf, i_mcf) = ipc_pair("mcf", &config);
     let (d_mesa, i_mesa) = ipc_pair("mesa", &config);
-    assert!(d_mcf < d_mesa, "detailed: mcf {d_mcf:.3} should be slower than mesa {d_mesa:.3}");
-    assert!(i_mcf < i_mesa, "interval: mcf {i_mcf:.3} should be slower than mesa {i_mesa:.3}");
+    assert!(
+        d_mcf < d_mesa,
+        "detailed: mcf {d_mcf:.3} should be slower than mesa {d_mesa:.3}"
+    );
+    assert!(
+        i_mcf < i_mesa,
+        "interval: mcf {i_mcf:.3} should be slower than mesa {i_mesa:.3}"
+    );
 }
 
 #[test]
@@ -116,6 +122,12 @@ fn multi_core_scaling_trend_matches_between_models() {
     let d4 = cycles(CoreModel::Detailed, 4);
     let i1 = cycles(CoreModel::Interval, 1);
     let i4 = cycles(CoreModel::Interval, 4);
-    assert!((d4 as f64) < 0.6 * d1 as f64, "detailed: 4 cores {d4} vs 1 core {d1}");
-    assert!((i4 as f64) < 0.6 * i1 as f64, "interval: 4 cores {i4} vs 1 core {i1}");
+    assert!(
+        (d4 as f64) < 0.6 * d1 as f64,
+        "detailed: 4 cores {d4} vs 1 core {d1}"
+    );
+    assert!(
+        (i4 as f64) < 0.6 * i1 as f64,
+        "interval: 4 cores {i4} vs 1 core {i1}"
+    );
 }

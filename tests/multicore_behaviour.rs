@@ -26,7 +26,10 @@ fn l2_and_bandwidth_sharing_degrade_memory_bound_multiprogram_throughput() {
     let gcc_8 = per_copy_ipc("gcc", 8);
     let mcf_loss = 1.0 - mcf_8 / mcf_1;
     let gcc_loss = 1.0 - gcc_8 / gcc_1;
-    assert!(mcf_loss > 0.10, "mcf should lose per-copy IPC with 8 copies (lost {mcf_loss:.2})");
+    assert!(
+        mcf_loss > 0.10,
+        "mcf should lose per-copy IPC with 8 copies (lost {mcf_loss:.2})"
+    );
     assert!(
         mcf_loss > gcc_loss,
         "mcf (lost {mcf_loss:.2}) must be more sensitive to sharing than gcc (lost {gcc_loss:.2})"
@@ -56,7 +59,10 @@ fn stp_is_bounded_by_copy_count_and_antt_at_least_one() {
     let singles = vec![single; copies];
     let stp = metrics::stp(&singles, &multi_cycles);
     let antt = metrics::antt(&singles, &multi_cycles);
-    assert!(stp > 0.5 && stp <= copies as f64 + 0.25, "STP {stp:.3} out of range");
+    assert!(
+        stp > 0.5 && stp <= copies as f64 + 0.25,
+        "STP {stp:.3} out of range"
+    );
     assert!(antt >= 0.9, "ANTT {antt:.3} cannot be far below 1");
 }
 
@@ -144,10 +150,14 @@ fn coherence_traffic_appears_only_with_shared_data() {
         &WorkloadSpec::homogeneous("gcc", 4, 15_000),
         SEED,
     );
-    let shared_coherence = shared.memory.totals().coherence_misses + shared.memory.totals().upgrades;
+    let shared_coherence =
+        shared.memory.totals().coherence_misses + shared.memory.totals().upgrades;
     let private_coherence =
         private.memory.totals().coherence_misses + private.memory.totals().upgrades;
-    assert!(shared_coherence > 0, "a lock/shared-data workload must produce coherence traffic");
+    assert!(
+        shared_coherence > 0,
+        "a lock/shared-data workload must produce coherence traffic"
+    );
     assert_eq!(
         private_coherence, 0,
         "independent programs with private data must not produce coherence traffic"
@@ -170,9 +180,22 @@ fn runs_are_deterministic_for_a_fixed_seed() {
 #[test]
 fn different_seeds_change_the_workload_but_not_its_character() {
     let config = SystemConfig::hpca2010_baseline(1);
-    let a = run(CoreModel::Interval, &config, &WorkloadSpec::single("mcf", 20_000), 1);
-    let b = run(CoreModel::Interval, &config, &WorkloadSpec::single("mcf", 20_000), 2);
-    assert_ne!(a.cycles, b.cycles, "different seeds should give different executions");
+    let a = run(
+        CoreModel::Interval,
+        &config,
+        &WorkloadSpec::single("mcf", 20_000),
+        1,
+    );
+    let b = run(
+        CoreModel::Interval,
+        &config,
+        &WorkloadSpec::single("mcf", 20_000),
+        2,
+    );
+    assert_ne!(
+        a.cycles, b.cycles,
+        "different seeds should give different executions"
+    );
     let ratio = a.cycles as f64 / b.cycles as f64;
     assert!(
         (0.5..2.0).contains(&ratio),

@@ -1,0 +1,52 @@
+//! Fast smoke test: every core model runs end to end on a tiny workload and
+//! produces a finite, positive IPC. This is the cheapest possible guard that
+//! the tier-1 loop stays green (and fast) — it exercises the trace front-end,
+//! branch predictors, memory hierarchy and all three timing models in well
+//! under a second, so a regression in any of them fails here first.
+
+use interval_sim::sim::config::SystemConfig;
+use interval_sim::sim::runner::{run, CoreModel};
+use interval_sim::sim::workload::WorkloadSpec;
+
+const TINY: u64 = 2_000;
+
+#[test]
+fn all_three_models_produce_finite_positive_ipc() {
+    let config = SystemConfig::hpca2010_baseline(1);
+    let spec = WorkloadSpec::single("gcc", TINY);
+    for model in [CoreModel::Interval, CoreModel::OneIpc, CoreModel::Detailed] {
+        let r = run(model, &config, &spec, 1);
+        let ipc = r.core_ipc(0);
+        assert!(
+            ipc.is_finite() && ipc > 0.0,
+            "{} IPC must be finite and positive, got {ipc}",
+            model.name()
+        );
+        assert!(
+            ipc <= 4.0 + 1e-9,
+            "{} IPC {ipc} cannot exceed the 4-wide dispatch",
+            model.name()
+        );
+        assert_eq!(r.total_instructions, TINY);
+    }
+}
+
+#[test]
+fn all_three_models_handle_a_tiny_multicore_run() {
+    let config = SystemConfig::hpca2010_baseline(2);
+    let spec = WorkloadSpec::multithreaded("blackscholes", 2, TINY);
+    for model in [CoreModel::Interval, CoreModel::OneIpc, CoreModel::Detailed] {
+        let r = run(model, &config, &spec, 1);
+        assert!(r.cycles > 0, "{} must advance time", model.name());
+        assert_eq!(r.total_instructions, TINY);
+        for core in &r.per_core {
+            let ipc = core.ipc();
+            assert!(
+                ipc.is_finite() && ipc > 0.0,
+                "{} core {} IPC must be finite and positive, got {ipc}",
+                model.name(),
+                core.core
+            );
+        }
+    }
+}

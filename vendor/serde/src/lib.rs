@@ -1,0 +1,18 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! Provides the `Serialize` / `Deserialize` trait names and the derive
+//! macros of the same names, which is the entire surface this workspace
+//! uses (types are annotated for future serialization, but no serializer
+//! backend is linked). Replace the `path` dependency in the workspace root
+//! with the real crates.io `serde` once network access is available — no
+//! source change is required in the workspace crates.
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+// The derive macros live in the macro namespace, so re-exporting them under
+// the same names as the traits mirrors real serde's `derive` feature.
+pub use serde_derive::{Deserialize, Serialize};

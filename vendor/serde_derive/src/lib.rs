@@ -1,0 +1,22 @@
+//! Offline stand-in for the `serde_derive` proc-macro crate.
+//!
+//! The container building this workspace has no network access, so the real
+//! crates.io `serde_derive` cannot be fetched. This workspace only ever
+//! *derives* `Serialize`/`Deserialize` (no serializer backend such as
+//! `serde_json` is linked), so the derives can safely expand to nothing:
+//! types stay annotated with the standard attribute syntax and switching to
+//! the real serde is a one-line change in the workspace manifest.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

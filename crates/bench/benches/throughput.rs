@@ -1,0 +1,59 @@
+//! Hot-loop throughput bench: simulated instructions per host second for
+//! each core model, plus the batch engine running a small sweep. This is the
+//! bench behind the `BENCH_interval.json` MIPS numbers — the quantity the
+//! zero-allocation work on the per-instruction path moves.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use iss_sim::batch::{run_batch_with_threads, SimJob};
+use iss_sim::config::SystemConfig;
+use iss_sim::runner::{run, CoreModel};
+use iss_sim::workload::WorkloadSpec;
+
+const BUDGET: u64 = 20_000;
+
+fn model_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("throughput");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(BUDGET));
+    let config = SystemConfig::hpca2010_baseline(1);
+    for benchmark in ["gcc", "mcf"] {
+        let spec = WorkloadSpec::single(benchmark, BUDGET);
+        for model in [CoreModel::Interval, CoreModel::Detailed, CoreModel::OneIpc] {
+            group.bench_with_input(
+                BenchmarkId::new(benchmark, model.name()),
+                &model,
+                |b, &model| b.iter(|| run(model, &config, &spec, 42)),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn batch_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("batch_engine");
+    group.sample_size(10);
+    let config = SystemConfig::hpca2010_baseline(1);
+    let jobs: Vec<SimJob> = ["gcc", "gzip", "mcf", "twolf"]
+        .into_iter()
+        .map(|b| {
+            SimJob::new(
+                CoreModel::Interval,
+                config,
+                WorkloadSpec::single(b, BUDGET),
+                42,
+            )
+        })
+        .collect();
+    group.throughput(Throughput::Elements(BUDGET * jobs.len() as u64));
+    for threads in [1usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("spec_sweep", threads),
+            &threads,
+            |b, &threads| b.iter(|| run_batch_with_threads(&jobs, threads)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, model_throughput, batch_engine);
+criterion_main!(benches);

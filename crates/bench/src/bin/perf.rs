@@ -1,0 +1,212 @@
+//! Machine-readable performance trajectory of the simulator itself.
+//!
+//! Runs a fixed instruction budget per core model (single-threaded, so the
+//! number reported is the hot-loop speed, not the batch engine's), times the
+//! figure drivers through the parallel batch engine, and emits
+//! `BENCH_interval.json` with:
+//!
+//! * simulated MIPS per core model (single-thread),
+//! * the interval-vs-detailed simulation speedup,
+//! * wall-clock seconds per figure driver (these scale with `ISS_THREADS`).
+//!
+//! Usage: `perf [output-path] [--no-figures]`; the output path defaults to
+//! `ISS_BENCH_OUT` or `BENCH_interval.json`. The instruction budget follows
+//! `ISS_EXPERIMENT_SCALE` (`quick` by default).
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use iss_bench::{scale_from_env, PARSEC_QUICK, SPEC_QUICK};
+use iss_sim::batch::{configured_threads, run_batch_with_threads, SimJob};
+use iss_sim::experiments::{self, ExperimentScale, Fig4Variant};
+use iss_sim::runner::CoreModel;
+use iss_sim::{SystemConfig, WorkloadSpec};
+
+/// Single-thread throughput of one core model over the SPEC quick set.
+struct ModelThroughput {
+    model: CoreModel,
+    instructions: u64,
+    host_seconds: f64,
+}
+
+impl ModelThroughput {
+    fn mips(&self) -> f64 {
+        if self.host_seconds <= 0.0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.host_seconds / 1e6
+        }
+    }
+}
+
+fn measure_model(model: CoreModel, scale: ExperimentScale) -> ModelThroughput {
+    let config = SystemConfig::hpca2010_baseline(1);
+    let jobs: Vec<SimJob> = SPEC_QUICK
+        .iter()
+        .map(|b| {
+            SimJob::new(
+                model,
+                config,
+                WorkloadSpec::single(b, scale.spec_length),
+                scale.seed,
+            )
+        })
+        .collect();
+    // One worker: this is the hot-loop MIPS figure, not batch scaling, and a
+    // single worker keeps the per-run wall clocks free of host contention.
+    let out = run_batch_with_threads(&jobs, 1);
+    ModelThroughput {
+        model,
+        instructions: out.iter().map(|s| s.total_instructions).sum(),
+        host_seconds: out.iter().map(|s| s.host_seconds).sum(),
+    }
+}
+
+/// Wall-clock of one figure driver (runs through `run_batch`, so this is the
+/// number that drops when `ISS_THREADS` rises).
+struct DriverTiming {
+    name: &'static str,
+    seconds: f64,
+    rows: usize,
+}
+
+fn time_driver(name: &'static str, f: impl FnOnce() -> usize) -> DriverTiming {
+    let start = Instant::now();
+    let rows = f();
+    DriverTiming {
+        name,
+        seconds: start.elapsed().as_secs_f64(),
+        rows,
+    }
+}
+
+fn time_drivers(scale: ExperimentScale) -> Vec<DriverTiming> {
+    let spec2 = &SPEC_QUICK[..2];
+    let parsec2 = &PARSEC_QUICK[..2];
+    vec![
+        time_driver("fig4", || {
+            experiments::fig4(Fig4Variant::EffectiveDispatchRate, &SPEC_QUICK, scale).len()
+        }),
+        time_driver("fig5", || experiments::fig5(&SPEC_QUICK, scale).len()),
+        time_driver("fig6", || experiments::fig6(spec2, &[1, 2, 4], scale).len()),
+        time_driver("fig7", || {
+            experiments::fig7(parsec2, &[1, 2, 4], scale).len()
+        }),
+        time_driver("fig8", || experiments::fig8(parsec2, scale).len()),
+        time_driver("fig9", || experiments::fig9(spec2, &[1, 4], scale).len()),
+        time_driver("fig10", || {
+            experiments::fig10(parsec2, &[1, 4], scale).len()
+        }),
+        time_driver("ablation", || {
+            experiments::ablation(&SPEC_QUICK, scale).len()
+        }),
+    ]
+}
+
+fn render_json(
+    scale: ExperimentScale,
+    threads: usize,
+    models: &[ModelThroughput],
+    speedup: f64,
+    drivers: &[DriverTiming],
+) -> String {
+    let mut j = String::new();
+    j.push_str("{\n");
+    let _ = writeln!(j, "  \"schema\": \"iss-bench-perf/v1\",");
+    let _ = writeln!(
+        j,
+        "  \"scale\": {{\"spec_length\": {}, \"parsec_length\": {}, \"seed\": {}}},",
+        scale.spec_length, scale.parsec_length, scale.seed
+    );
+    let _ = writeln!(j, "  \"threads\": {threads},");
+    j.push_str("  \"models\": [\n");
+    for (i, m) in models.iter().enumerate() {
+        let _ = writeln!(
+            j,
+            "    {{\"model\": \"{}\", \"instructions\": {}, \"host_seconds\": {:.6}, \"simulated_mips\": {:.3}}}{}",
+            m.model.name(),
+            m.instructions,
+            m.host_seconds,
+            m.mips(),
+            if i + 1 < models.len() { "," } else { "" }
+        );
+    }
+    j.push_str("  ],\n");
+    let _ = writeln!(j, "  \"interval_over_detailed_speedup\": {speedup:.3},");
+    j.push_str("  \"drivers\": [\n");
+    for (i, d) in drivers.iter().enumerate() {
+        let _ = writeln!(
+            j,
+            "    {{\"name\": \"{}\", \"seconds\": {:.6}, \"rows\": {}}}{}",
+            d.name,
+            d.seconds,
+            d.rows,
+            if i + 1 < drivers.len() { "," } else { "" }
+        );
+    }
+    j.push_str("  ]\n}\n");
+    j
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let no_figures = args.iter().any(|a| a == "--no-figures");
+    let out_path = args
+        .iter()
+        .skip(1)
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .or_else(|| std::env::var("ISS_BENCH_OUT").ok())
+        .unwrap_or_else(|| "BENCH_interval.json".to_string());
+
+    let scale = scale_from_env();
+    let threads = configured_threads();
+
+    println!(
+        "perf — simulator throughput (spec budget {} instructions/benchmark)",
+        scale.spec_length
+    );
+    let models: Vec<ModelThroughput> =
+        [CoreModel::Interval, CoreModel::Detailed, CoreModel::OneIpc]
+            .into_iter()
+            .map(|m| measure_model(m, scale))
+            .collect();
+    for m in &models {
+        println!(
+            "{:<10} {:>12} instructions {:>10.3}s {:>10.2} simulated MIPS",
+            m.model.name(),
+            m.instructions,
+            m.host_seconds,
+            m.mips()
+        );
+    }
+    let interval = models
+        .iter()
+        .find(|m| m.model == CoreModel::Interval)
+        .expect("interval model measured");
+    let detailed = models
+        .iter()
+        .find(|m| m.model == CoreModel::Detailed)
+        .expect("detailed model measured");
+    let speedup = if interval.host_seconds > 0.0 {
+        detailed.host_seconds / interval.host_seconds
+    } else {
+        0.0
+    };
+    println!("interval over detailed speedup: {speedup:.1}x");
+
+    let drivers = if no_figures {
+        Vec::new()
+    } else {
+        println!("timing figure drivers with {threads} worker thread(s)...");
+        let drivers = time_drivers(scale);
+        for d in &drivers {
+            println!("{:<10} {:>10.3}s {:>5} rows", d.name, d.seconds, d.rows);
+        }
+        drivers
+    };
+
+    let json = render_json(scale, threads, &models, speedup, &drivers);
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
+    println!("wrote {out_path}");
+}

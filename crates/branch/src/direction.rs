@@ -285,21 +285,71 @@ impl DirectionPredictor for TournamentPredictor {
     }
 }
 
+/// Closed sum of the direction predictors, dispatched with a `match`.
+///
+/// The branch unit predicts once per dynamic branch — several million times
+/// per simulated second — so the predictor lives here as an enum rather than
+/// a `Box<dyn DirectionPredictor>`: no virtual call on the per-instruction
+/// hot path, no heap indirection, and the whole unit stays `Clone`.
+#[derive(Debug, Clone)]
+pub enum AnyDirectionPredictor {
+    /// Never mispredicts.
+    Perfect(PerfectPredictor),
+    /// PC-indexed 2-bit counters.
+    Bimodal(BimodalPredictor),
+    /// Global-history gshare.
+    Gshare(GsharePredictor),
+    /// Two-level local-history predictor (the paper's baseline).
+    Local(LocalPredictor),
+    /// Alpha 21264-style tournament of local and gshare.
+    Tournament(TournamentPredictor),
+}
+
+impl DirectionPredictor for AnyDirectionPredictor {
+    fn predict(&self, pc: u64) -> bool {
+        match self {
+            AnyDirectionPredictor::Perfect(p) => p.predict(pc),
+            AnyDirectionPredictor::Bimodal(p) => p.predict(pc),
+            AnyDirectionPredictor::Gshare(p) => p.predict(pc),
+            AnyDirectionPredictor::Local(p) => p.predict(pc),
+            AnyDirectionPredictor::Tournament(p) => p.predict(pc),
+        }
+    }
+
+    fn update(&mut self, pc: u64, taken: bool) {
+        match self {
+            AnyDirectionPredictor::Perfect(p) => p.update(pc, taken),
+            AnyDirectionPredictor::Bimodal(p) => p.update(pc, taken),
+            AnyDirectionPredictor::Gshare(p) => p.update(pc, taken),
+            AnyDirectionPredictor::Local(p) => p.update(pc, taken),
+            AnyDirectionPredictor::Tournament(p) => p.update(pc, taken),
+        }
+    }
+
+    fn predict_and_update(&mut self, pc: u64, taken: bool) -> bool {
+        match self {
+            AnyDirectionPredictor::Perfect(p) => p.predict_and_update(pc, taken),
+            AnyDirectionPredictor::Bimodal(p) => p.predict_and_update(pc, taken),
+            AnyDirectionPredictor::Gshare(p) => p.predict_and_update(pc, taken),
+            AnyDirectionPredictor::Local(p) => p.predict_and_update(pc, taken),
+            AnyDirectionPredictor::Tournament(p) => p.predict_and_update(pc, taken),
+        }
+    }
+}
+
 /// Builds the direction predictor selected by `config`.
 #[must_use]
-pub fn build_direction_predictor(
-    config: &BranchPredictorConfig,
-) -> Box<dyn DirectionPredictor + Send> {
+pub fn build_direction_predictor(config: &BranchPredictorConfig) -> AnyDirectionPredictor {
     use crate::config::DirectionPredictorKind as K;
     match config.kind {
-        K::Perfect => Box::new(PerfectPredictor),
-        K::Bimodal => Box::new(BimodalPredictor::new(config.counter_entries)),
-        K::Gshare => Box::new(GsharePredictor::new(
+        K::Perfect => AnyDirectionPredictor::Perfect(PerfectPredictor),
+        K::Bimodal => AnyDirectionPredictor::Bimodal(BimodalPredictor::new(config.counter_entries)),
+        K::Gshare => AnyDirectionPredictor::Gshare(GsharePredictor::new(
             config.counter_entries,
             config.global_history_bits,
         )),
-        K::Local => Box::new(LocalPredictor::new(config)),
-        K::Tournament => Box::new(TournamentPredictor::new(config)),
+        K::Local => AnyDirectionPredictor::Local(LocalPredictor::new(config)),
+        K::Tournament => AnyDirectionPredictor::Tournament(TournamentPredictor::new(config)),
     }
 }
 

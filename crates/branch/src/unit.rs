@@ -12,7 +12,7 @@ use iss_trace::{BranchClass, BranchInfo};
 
 use crate::btb::BranchTargetBuffer;
 use crate::config::{BranchPredictorConfig, DirectionPredictorKind};
-use crate::direction::{build_direction_predictor, DirectionPredictor};
+use crate::direction::{build_direction_predictor, AnyDirectionPredictor, DirectionPredictor};
 use crate::ras::ReturnAddressStack;
 
 /// Result of predicting one branch.
@@ -64,9 +64,13 @@ impl BranchStats {
 }
 
 /// Per-core branch prediction front-end: direction predictor + BTB + RAS.
+///
+/// The direction predictor is an [`AnyDirectionPredictor`] enum, not a boxed
+/// trait object: predictions happen once per dynamic branch, and enum
+/// dispatch keeps that call monomorphic (no vtable on the hot path).
 pub struct BranchUnit {
     config: BranchPredictorConfig,
-    direction: Box<dyn DirectionPredictor + Send>,
+    direction: AnyDirectionPredictor,
     btb: BranchTargetBuffer,
     ras: ReturnAddressStack,
     stats: BranchStats,

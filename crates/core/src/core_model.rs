@@ -40,6 +40,9 @@ pub struct IntervalCore<S> {
     core_sim_time: u64,
     dispatch_credit: f64,
     stats: IntervalCoreStats,
+    /// Reusable dependence-scan scratch state, allocated once; the overlap
+    /// scan runs on every long-latency miss and must not allocate.
+    overlap_tracker: DependenceTracker,
     done: bool,
 }
 
@@ -70,6 +73,7 @@ impl<S: InstructionStream> IntervalCore<S> {
             core_sim_time: 0,
             dispatch_credit: 0.0,
             stats: IntervalCoreStats::default(),
+            overlap_tracker: DependenceTracker::with_capacity(config.window_size),
             done: false,
         }
     }
@@ -196,14 +200,15 @@ impl<S: InstructionStream> IntervalCore<S> {
         mem: &mut MemoryHierarchy,
         sync: &mut SyncController,
     ) -> DispatchOutcome {
-        self.refill_window();
+        // The window is already full here: `step_cycle` refills before the
+        // dispatch loop and the dispatch path refills after every pop.
         let Some(head) = self.window.head() else {
             return DispatchOutcome::Empty;
         };
         let entry_i_overlapped = head.i_overlapped;
         let entry_br_overlapped = head.br_overlapped;
         let entry_d_overlapped = head.d_overlapped;
-        let inst = head.inst.clone();
+        let inst = head.inst;
         let core = self.core_id;
 
         // --- synchronization (functional-first: the timing model decides how
@@ -333,7 +338,6 @@ impl<S: InstructionStream> IntervalCore<S> {
         mem: &mut MemoryHierarchy,
     ) -> u64 {
         let mut slowest_overlapped = 0;
-        let mut tracker = DependenceTracker::rooted_at(blocking_load);
         // Completion time (relative to the blocking load's issue) of the
         // value in each architectural register, considering only latencies
         // accumulated by overlapped loads during this scan.
@@ -341,6 +345,8 @@ impl<S: InstructionStream> IntervalCore<S> {
         let core = self.core_id;
         let stats = &mut self.stats;
         let branch_unit = &mut self.branch_unit;
+        let tracker = &mut self.overlap_tracker;
+        tracker.reset_rooted_at(blocking_load);
         for entry in self.window.iter_behind_head_mut() {
             // Synchronizing and serializing instructions drain the window and
             // terminate the overlap scan.
@@ -400,7 +406,12 @@ impl<S: InstructionStream> IntervalCore<S> {
                         let completes_at = ready_at + resp.latency;
                         slowest_overlapped = slowest_overlapped.max(completes_at);
                         if let Some(dst) = entry.inst.dst {
-                            chain[dst as usize] = completes_at;
+                            // Out-of-range ids (hand-built test instructions
+                            // only) are simply not chain-tracked, matching
+                            // the `unwrap_or(0)` on the read side.
+                            if let Some(slot) = chain.get_mut(dst as usize) {
+                                *slot = completes_at;
+                            }
                             continue;
                         }
                     }
@@ -410,19 +421,21 @@ impl<S: InstructionStream> IntervalCore<S> {
                     // double-charge them.
                 }
             }
-            if !dependent {
-                if let Some(dst) = entry.inst.dst {
-                    // Non-load results are ready when their inputs are (the
-                    // cycle-scale execution latency is negligible next to the
-                    // memory latencies the chain tracks).
-                    chain[dst as usize] = ready_at;
+            if let Some(dst) = entry.inst.dst {
+                if let Some(slot) = chain.get_mut(dst as usize) {
+                    *slot = if dependent {
+                        // A root-dependent instruction executes only after
+                        // the blocking load returns; it contributes no
+                        // overlapped-chain latency, and its redefinition
+                        // severs any earlier chain through this register.
+                        0
+                    } else {
+                        // Non-load results are ready when their inputs are
+                        // (the cycle-scale execution latency is negligible
+                        // next to the memory latencies the chain tracks).
+                        ready_at
+                    };
                 }
-            } else if let Some(dst) = entry.inst.dst {
-                // A root-dependent instruction executes only after the
-                // blocking load returns; it contributes no overlapped-chain
-                // latency, and its redefinition severs any earlier chain
-                // through this register.
-                chain[dst as usize] = 0;
             }
         }
         slowest_overlapped

@@ -19,9 +19,65 @@
 //! on every miss event so that the interval-length dependence of the branch
 //! resolution time and drain time is modeled (Section 3.2 of the paper).
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
-use iss_trace::{DynInst, RegId};
+use iss_trace::{DynInst, FxHashMap, RegId, NUM_ARCH_REGS};
+
+/// Issue time of the most recent producer of each architectural register,
+/// backed by a flat epoch-stamped array sized once at construction.
+///
+/// Both operations the interval hot loop performs are allocation-free and
+/// cheap: a lookup is one bounds-checked index (no hashing), and `clear` —
+/// called on *every* miss event — is O(1), just an epoch bump that lazily
+/// invalidates every slot.
+#[derive(Debug, Clone)]
+struct RegIssueMap {
+    epoch: u32,
+    /// `(epoch_written, issue_time)` per register id.
+    slots: Vec<(u32, u64)>,
+}
+
+impl RegIssueMap {
+    fn new() -> Self {
+        RegIssueMap {
+            epoch: 1,
+            slots: vec![(0, 0); NUM_ARCH_REGS as usize],
+        }
+    }
+
+    #[inline]
+    fn get(&self, r: RegId) -> Option<u64> {
+        match self.slots.get(r as usize) {
+            Some(&(written, t)) if written == self.epoch => Some(t),
+            _ => None,
+        }
+    }
+
+    #[inline]
+    fn insert(&mut self, r: RegId, t: u64) {
+        let i = r as usize;
+        if i >= self.slots.len() {
+            // Register ids beyond the architectural set only appear in
+            // hand-built test instructions; grow once and keep going.
+            self.slots.resize(i + 1, (0, 0));
+        }
+        self.slots[i] = (self.epoch, t);
+    }
+
+    fn clear(&mut self) {
+        self.epoch = match self.epoch.checked_add(1) {
+            Some(e) => e,
+            None => {
+                // Epoch wrap (after 2^32 - 1 miss events): hard-reset the
+                // stamps so stale entries cannot alias the restarted epoch.
+                for s in &mut self.slots {
+                    *s = (0, 0);
+                }
+                1
+            }
+        };
+    }
+}
 
 /// Data-flow model over the last `capacity` dispatched instructions.
 #[derive(Debug, Clone)]
@@ -31,10 +87,10 @@ pub struct OldWindow {
     /// Issue times of the resident instructions, oldest first.
     issue_times: VecDeque<u64>,
     /// Issue time of the most recent producer of each register.
-    reg_issue: HashMap<RegId, u64>,
+    reg_issue: RegIssueMap,
     /// Issue time of the most recent store to each cache line (64-byte
     /// granularity) — memory dependences.
-    store_issue: HashMap<u64, u64>,
+    store_issue: FxHashMap<u64, u64>,
     head_time: u64,
     tail_time: u64,
 }
@@ -55,8 +111,8 @@ impl OldWindow {
             capacity,
             dispatch_width,
             issue_times: VecDeque::with_capacity(capacity),
-            reg_issue: HashMap::new(),
-            store_issue: HashMap::new(),
+            reg_issue: RegIssueMap::new(),
+            store_issue: FxHashMap::default(),
             head_time: 0,
             tail_time: 0,
         }
@@ -74,7 +130,7 @@ impl OldWindow {
     fn dependence_time(&self, inst: &DynInst) -> u64 {
         let mut t = self.head_time;
         for r in inst.src_regs() {
-            if let Some(&ti) = self.reg_issue.get(&r) {
+            if let Some(ti) = self.reg_issue.get(r) {
                 t = t.max(ti);
             }
         }

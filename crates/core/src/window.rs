@@ -122,29 +122,90 @@ impl Window {
 /// Tracks transitive register/memory dependences on a long-latency load
 /// during the overlap scan. Instructions that depend (directly or through
 /// other instructions) on the blocking load cannot execute underneath it.
+///
+/// The tracker is designed to be *reused*: the interval core keeps one per
+/// core and calls [`DependenceTracker::reset_rooted_at`] at every scan, so
+/// the overlap path — entered on every long-latency miss — performs no
+/// allocation once the backing buffers have grown to the window size.
 #[derive(Debug, Clone, Default)]
 pub struct DependenceTracker {
-    poisoned_regs: Vec<RegId>,
+    /// Poison bits for register ids `0..128` — the architectural set is 64
+    /// registers, so real streams live entirely in this mask and every
+    /// membership test in the scan is a single bit operation instead of a
+    /// list walk (the scan visits up to a window of instructions per
+    /// long-latency miss).
+    poisoned_mask: u128,
+    /// Poisoned register ids `>= 128` (only reachable from hand-built test
+    /// instructions; empty for generated streams).
+    poisoned_overflow: Vec<RegId>,
     poisoned_lines: Vec<u64>,
 }
 
 const LINE_SHIFT: u32 = 6;
+const MASK_REGS: RegId = 128;
 
 impl DependenceTracker {
+    /// Creates an empty tracker with buffers sized for `capacity` in-flight
+    /// instructions (the look-ahead window size), so scans never reallocate.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        DependenceTracker {
+            poisoned_mask: 0,
+            poisoned_overflow: Vec::new(),
+            poisoned_lines: Vec::with_capacity(capacity),
+        }
+    }
+
     /// Starts tracking from the blocking long-latency load.
     #[must_use]
     pub fn rooted_at(load: &DynInst) -> Self {
         let mut t = DependenceTracker::default();
-        if let Some(dst) = load.dst {
-            t.poisoned_regs.push(dst);
-        }
+        t.reset_rooted_at(load);
         t
+    }
+
+    /// Clears the tracker (keeping its buffers) and re-roots it at a new
+    /// blocking load.
+    pub fn reset_rooted_at(&mut self, load: &DynInst) {
+        self.poisoned_mask = 0;
+        self.poisoned_overflow.clear();
+        self.poisoned_lines.clear();
+        if let Some(dst) = load.dst {
+            self.poison(dst);
+        }
+    }
+
+    #[inline]
+    fn is_poisoned(&self, r: RegId) -> bool {
+        if r < MASK_REGS {
+            self.poisoned_mask & (1u128 << r) != 0
+        } else {
+            self.poisoned_overflow.contains(&r)
+        }
+    }
+
+    #[inline]
+    fn poison(&mut self, r: RegId) {
+        if r < MASK_REGS {
+            self.poisoned_mask |= 1u128 << r;
+        } else if !self.poisoned_overflow.contains(&r) {
+            self.poisoned_overflow.push(r);
+        }
+    }
+
+    #[inline]
+    fn unpoison(&mut self, r: RegId) {
+        if r < MASK_REGS {
+            self.poisoned_mask &= !(1u128 << r);
+        } else {
+            self.poisoned_overflow.retain(|&p| p != r);
+        }
     }
 
     /// Whether `inst` depends (transitively) on the blocking load. When it
     /// does, its own outputs become poisoned too.
     pub fn depends_and_propagate(&mut self, inst: &DynInst) -> bool {
-        let mut depends = inst.src_regs().any(|r| self.poisoned_regs.contains(&r));
+        let mut depends = inst.src_regs().any(|r| self.is_poisoned(r));
         if let Some(mem) = &inst.mem {
             if !mem.is_store && self.poisoned_lines.contains(&(mem.vaddr >> LINE_SHIFT)) {
                 depends = true;
@@ -152,9 +213,7 @@ impl DependenceTracker {
         }
         if depends {
             if let Some(dst) = inst.dst {
-                if !self.poisoned_regs.contains(&dst) {
-                    self.poisoned_regs.push(dst);
-                }
+                self.poison(dst);
             }
             if let Some(mem) = &inst.mem {
                 if mem.is_store {
@@ -167,7 +226,7 @@ impl DependenceTracker {
         } else if let Some(dst) = inst.dst {
             // An independent instruction that overwrites a poisoned register
             // breaks the chain for later readers of that register.
-            self.poisoned_regs.retain(|&r| r != dst);
+            self.unpoison(dst);
         }
         depends
     }

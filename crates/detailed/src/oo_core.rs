@@ -10,11 +10,13 @@
 //! misprediction is modeled by stalling fetch until the branch resolves, the
 //! same simplification the interval model's penalty formula captures).
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 use iss_branch::{BranchPredictorConfig, BranchStats, BranchUnit};
 use iss_mem::MemoryHierarchy;
-use iss_trace::{DynInst, InstructionStream, SyncController, SyncOp, ThreadId};
+use iss_trace::{
+    DynInst, FxHashMap, InstructionStream, SyncController, SyncOp, ThreadId, NUM_ARCH_REGS,
+};
 
 use crate::config::DetailedCoreConfig;
 use crate::stats::DetailedCoreStats;
@@ -29,12 +31,35 @@ struct FetchEntry {
     dispatch_ready_at: u64,
 }
 
+/// Sequence numbers of the in-flight producers one instruction waits for:
+/// at most two register sources plus one store-to-load memory dependence, so
+/// the list lives inline in the ROB entry — dispatching an instruction
+/// allocates nothing.
+#[derive(Debug, Clone, Copy, Default)]
+struct DepList {
+    seqs: [u64; 3],
+    len: u8,
+}
+
+impl DepList {
+    #[inline]
+    fn push(&mut self, seq: u64) {
+        self.seqs[usize::from(self.len)] = seq;
+        self.len += 1;
+    }
+
+    #[inline]
+    fn as_slice(&self) -> &[u64] {
+        &self.seqs[..usize::from(self.len)]
+    }
+}
+
 #[derive(Debug, Clone)]
 struct RobEntry {
     inst: DynInst,
     seq: u64,
-    /// Sequence numbers of in-flight producers this instruction waits for.
-    deps: Vec<u64>,
+    /// In-flight producers this instruction waits for.
+    deps: DepList,
     issued: bool,
     complete_at: u64,
 }
@@ -61,11 +86,12 @@ pub struct OutOfOrderCore<S> {
 
     /// In-flight instructions: seq -> completion cycle (None = not yet
     /// issued). Entries are removed at commit.
-    in_flight: HashMap<u64, Option<u64>>,
-    /// Latest in-flight producer of each register.
-    reg_producer: HashMap<u16, u64>,
+    in_flight: FxHashMap<u64, Option<u64>>,
+    /// Latest in-flight producer of each register, indexed by register id —
+    /// registers are a small dense space, so no hashing on the dispatch path.
+    reg_producer: Vec<Option<u64>>,
     /// Latest in-flight store to each cache line.
-    store_producer: HashMap<u64, u64>,
+    store_producer: FxHashMap<u64, u64>,
 
     stats: DetailedCoreStats,
     done: bool,
@@ -100,9 +126,9 @@ impl<S: InstructionStream> OutOfOrderCore<S> {
             iq_occupancy: 0,
             lsq_occupancy: 0,
             serialize_stall: false,
-            in_flight: HashMap::new(),
-            reg_producer: HashMap::new(),
-            store_producer: HashMap::new(),
+            in_flight: FxHashMap::default(),
+            reg_producer: vec![None; NUM_ARCH_REGS as usize],
+            store_producer: FxHashMap::default(),
             stats: DetailedCoreStats::default(),
             done: false,
         }
@@ -181,12 +207,14 @@ impl<S: InstructionStream> OutOfOrderCore<S> {
         }
     }
 
-    fn deps_ready(&self, deps: &[u64], now: u64) -> bool {
-        deps.iter().all(|seq| match self.in_flight.get(seq) {
-            None => true,               // already committed
-            Some(Some(t)) => *t <= now, // issued, completes in time
-            Some(None) => false,        // not yet issued
-        })
+    fn deps_ready(&self, deps: &DepList, now: u64) -> bool {
+        deps.as_slice()
+            .iter()
+            .all(|seq| match self.in_flight.get(seq) {
+                None => true,               // already committed
+                Some(Some(t)) => *t <= now, // issued, completes in time
+                Some(None) => false,        // not yet issued
+            })
     }
 
     fn issue(&mut self, now: u64, mem: &mut MemoryHierarchy) {
@@ -334,9 +362,9 @@ impl<S: InstructionStream> OutOfOrderCore<S> {
             let inst = fe.inst;
             let seq = inst.seq;
             // Capture data dependences on in-flight producers.
-            let mut deps = Vec::with_capacity(3);
+            let mut deps = DepList::default();
             for src in inst.src_regs() {
-                if let Some(&pseq) = self.reg_producer.get(&src) {
+                if let Some(Some(pseq)) = self.reg_producer.get(src as usize).copied() {
                     if self.in_flight.contains_key(&pseq) {
                         deps.push(pseq);
                     }
@@ -352,7 +380,13 @@ impl<S: InstructionStream> OutOfOrderCore<S> {
                 }
             }
             if let Some(dst) = inst.dst {
-                self.reg_producer.insert(dst, seq);
+                let i = dst as usize;
+                if i >= self.reg_producer.len() {
+                    // Beyond the architectural set: only hand-built test
+                    // instructions get here; grow once and keep going.
+                    self.reg_producer.resize(i + 1, None);
+                }
+                self.reg_producer[i] = Some(seq);
             }
             if let Some(acc) = &inst.mem {
                 if acc.is_store {

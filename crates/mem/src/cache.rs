@@ -130,7 +130,11 @@ pub struct Eviction {
 struct Line {
     tag: u64,
     state: LineState,
-    lru: u32,
+    /// Last-touch stamp from the cache-wide monotone clock. The line with
+    /// the smallest stamp in a set is the LRU victim — same victim as an
+    /// ordered LRU list, but a hit is a single store instead of a loop over
+    /// the ways, which matters on a path taken once per simulated access.
+    stamp: u64,
 }
 
 /// Set-associative, LRU-replacement cache holding MOESI line states.
@@ -140,6 +144,7 @@ pub struct Cache {
     sets: Vec<Vec<Line>>,
     set_mask: u64,
     line_shift: u32,
+    clock: u64,
     hits: u64,
     misses: u64,
 }
@@ -161,6 +166,7 @@ impl Cache {
             sets: vec![Vec::with_capacity(config.ways); num_sets],
             set_mask: num_sets as u64 - 1,
             line_shift: config.line_bytes.trailing_zeros(),
+            clock: 0,
             hits: 0,
             misses: 0,
         }
@@ -191,17 +197,13 @@ impl Cache {
     pub fn access(&mut self, addr: u64) -> LineState {
         let tag = self.tag(addr);
         let set_idx = self.set_index(addr);
+        self.clock += 1;
+        let clock = self.clock;
         let set = &mut self.sets[set_idx];
-        if let Some(pos) = set.iter().position(|l| l.tag == tag) {
+        if let Some(line) = set.iter_mut().find(|l| l.tag == tag) {
             self.hits += 1;
-            let touched = set[pos].lru;
-            for l in set.iter_mut() {
-                if l.lru < touched {
-                    l.lru += 1;
-                }
-            }
-            set[pos].lru = 0;
-            set[pos].state
+            line.stamp = clock;
+            line.state
         } else {
             self.misses += 1;
             LineState::Invalid
@@ -242,26 +244,33 @@ impl Cache {
         let tag = self.tag(addr);
         let line_shift = self.line_shift;
         let set_idx = self.set_index(addr);
+        self.clock += 1;
+        let clock = self.clock;
         let set = &mut self.sets[set_idx];
         if let Some(line) = set.iter_mut().find(|l| l.tag == tag) {
             line.state = state;
             return None;
         }
-        for l in set.iter_mut() {
-            l.lru += 1;
-        }
         if set.len() < ways {
-            set.push(Line { tag, state, lru: 0 });
+            set.push(Line {
+                tag,
+                state,
+                stamp: clock,
+            });
             None
         } else {
             let victim_pos = set
                 .iter()
                 .enumerate()
-                .max_by_key(|(_, l)| l.lru)
+                .min_by_key(|(_, l)| l.stamp)
                 .map(|(i, _)| i)
                 .expect("set is non-empty");
             let victim = set[victim_pos];
-            set[victim_pos] = Line { tag, state, lru: 0 };
+            set[victim_pos] = Line {
+                tag,
+                state,
+                stamp: clock,
+            };
             Some(Eviction {
                 addr: victim.tag << line_shift,
                 state: victim.state,

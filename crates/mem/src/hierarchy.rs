@@ -275,21 +275,32 @@ impl MemoryHierarchy {
         }
     }
 
-    /// Remote cores holding the line, partitioned into (dirty owner, clean sharers).
-    fn snoop(&self, requester: usize, line: u64) -> (Option<usize>, Vec<usize>) {
+    /// Snoops the remote L1Ds for `line` in one pass, moving every clean
+    /// sharer (E/S) to `sharer_state`; returns the dirty owner (M/O), if
+    /// any, and whether a clean sharer existed. No per-miss allocation: the
+    /// sharer set is never materialized, only transformed in place.
+    fn snoop_set_sharers(
+        &mut self,
+        requester: usize,
+        line: u64,
+        sharer_state: LineState,
+    ) -> (Option<usize>, bool) {
         let mut owner = None;
-        let mut sharers = Vec::new();
+        let mut had_sharer = false;
         for c in 0..self.config.num_cores {
             if c == requester {
                 continue;
             }
             match self.l1d[c].probe(line) {
                 LineState::Modified | LineState::Owned => owner = Some(c),
-                LineState::Exclusive | LineState::Shared => sharers.push(c),
+                LineState::Exclusive | LineState::Shared => {
+                    had_sharer = true;
+                    self.l1d[c].set_state(line, sharer_state);
+                }
                 LineState::Invalid => {}
             }
         }
-        (owner, sharers)
+        (owner, had_sharer)
     }
 
     fn handle_load_miss(&mut self, core: usize, line: u64, now: u64) -> (u64, AccessLevel) {
@@ -299,7 +310,9 @@ impl MemoryHierarchy {
             self.install_l1d(core, line, LineState::Shared, now);
             return (latency, AccessLevel::L2);
         }
-        let (owner, sharers) = self.snoop(core, line);
+        // Clean sharers downgrade to Shared (a no-op for lines already
+        // Shared; Exclusive cannot coexist with a dirty owner under MOESI).
+        let (owner, has_sharers) = self.snoop_set_sharers(core, line, LineState::Shared);
         if let Some(owner_core) = owner {
             // Dirty copy elsewhere: cache-to-cache transfer, supplier keeps the
             // line in Owned state (MOESI avoids the memory write-back MESI
@@ -308,12 +321,6 @@ impl MemoryHierarchy {
             self.l1d[owner_core].set_state(line, LineState::Owned);
             self.install_l1d(core, line, LineState::Shared, now);
             return (self.config.cache_to_cache_latency, AccessLevel::RemoteCache);
-        }
-        // Clean sharers (if any) simply downgrade to Shared; data comes from
-        // the L2 or memory.
-        let has_sharers = !sharers.is_empty();
-        for s in sharers {
-            self.l1d[s].set_state(line, LineState::Shared);
         }
         let (latency, level) = self.read_from_l2_or_memory(core, line, now);
         let new_state = if has_sharers {
@@ -332,11 +339,8 @@ impl MemoryHierarchy {
             self.install_l1d(core, line, LineState::Modified, now);
             return (latency, AccessLevel::L2);
         }
-        let (owner, sharers) = self.snoop(core, line);
         // Read-for-ownership: every remote copy is invalidated.
-        for s in &sharers {
-            self.l1d[*s].set_state(line, LineState::Invalid);
-        }
+        let (owner, had_sharer) = self.snoop_set_sharers(core, line, LineState::Invalid);
         let (latency, level) = if let Some(owner_core) = owner {
             self.stats[core].coherence_misses += 1;
             self.l1d[owner_core].set_state(line, LineState::Invalid);
@@ -344,7 +348,7 @@ impl MemoryHierarchy {
         } else {
             self.read_from_l2_or_memory(core, line, now)
         };
-        if !sharers.is_empty() || owner.is_some() {
+        if had_sharer || owner.is_some() {
             self.stats[core].upgrades += 1;
         }
         self.install_l1d(core, line, LineState::Modified, now);
@@ -354,17 +358,11 @@ impl MemoryHierarchy {
     /// Upgrade a resident non-writable line to Modified: invalidate all remote
     /// copies and pay the bus transaction latency.
     fn upgrade(&mut self, core: usize, line: u64) -> u64 {
-        let (owner, sharers) = self.snoop(core, line);
-        let mut had_remote = false;
-        for s in sharers {
-            self.l1d[s].set_state(line, LineState::Invalid);
-            had_remote = true;
-        }
+        let (owner, had_sharer) = self.snoop_set_sharers(core, line, LineState::Invalid);
         if let Some(o) = owner {
             self.l1d[o].set_state(line, LineState::Invalid);
-            had_remote = true;
         }
-        if had_remote {
+        if had_sharer || owner.is_some() {
             self.stats[core].upgrades += 1;
             self.config.upgrade_latency
         } else {

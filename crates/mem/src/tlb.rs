@@ -59,11 +59,17 @@ impl TlbConfig {
 }
 
 /// Fully-associative, LRU translation lookaside buffer.
+///
+/// Residency is a flat `(page, stamp)` array with a monotone clock: a hit
+/// updates one stamp in place and eviction replaces the minimum-stamp slot —
+/// the exact LRU victim, without the `Vec::remove` memmove per hit that an
+/// ordered recency list costs (the D-TLB is consulted on every load/store).
 #[derive(Debug, Clone)]
 pub struct Tlb {
     config: TlbConfig,
-    /// Resident page numbers, most recently used last.
-    pages: Vec<u64>,
+    /// Resident page numbers with their last-use stamps.
+    pages: Vec<(u64, u64)>,
+    clock: u64,
     hits: u64,
     misses: u64,
 }
@@ -82,6 +88,7 @@ impl Tlb {
         Tlb {
             config: *config,
             pages: Vec::with_capacity(config.entries),
+            clock: 0,
             hits: 0,
             misses: 0,
         }
@@ -101,17 +108,24 @@ impl Tlb {
     /// page-walk penalty on a miss) and installs the translation.
     pub fn access(&mut self, vaddr: u64) -> u64 {
         let page = self.page_of(vaddr);
-        if let Some(pos) = self.pages.iter().position(|&p| p == page) {
+        self.clock += 1;
+        let clock = self.clock;
+        if let Some(slot) = self.pages.iter_mut().find(|(p, _)| *p == page) {
             self.hits += 1;
-            let p = self.pages.remove(pos);
-            self.pages.push(p);
+            slot.1 = clock;
             0
         } else {
             self.misses += 1;
             if self.pages.len() == self.config.entries {
-                self.pages.remove(0);
+                let lru = self
+                    .pages
+                    .iter_mut()
+                    .min_by_key(|(_, stamp)| *stamp)
+                    .expect("TLB has entries");
+                *lru = (page, clock);
+            } else {
+                self.pages.push((page, clock));
             }
-            self.pages.push(page);
             self.config.miss_latency
         }
     }
@@ -120,7 +134,7 @@ impl Tlb {
     #[must_use]
     pub fn contains(&self, vaddr: u64) -> bool {
         let page = self.page_of(vaddr);
-        self.pages.contains(&page)
+        self.pages.iter().any(|(p, _)| *p == page)
     }
 
     /// `(hits, misses)` counters.

@@ -1,0 +1,274 @@
+//! Parallel batch execution of independent simulation jobs.
+//!
+//! Every experiment in the paper's evaluation is a sweep over independent
+//! `(model, config, workload, seed)` points; nothing couples two points of a
+//! figure. [`run_batch`] exploits that: it executes a declarative job list on
+//! a self-scheduling pool of scoped worker threads (no extra dependencies —
+//! plain `std::thread::scope`), returning the summaries **in job order**
+//! regardless of completion order, so parallel and serial execution produce
+//! identical experiment rows.
+//!
+//! * The worker count comes from the `ISS_THREADS` environment variable and
+//!   defaults to the host's available parallelism.
+//! * Workers pull the next job index from a shared atomic counter, so a slow
+//!   job (an 8-core detailed run) never stalls the queue behind it.
+//! * Each job runs under panic isolation: one poisoned job surfaces as an
+//!   error for that slot ([`try_run_batch_with_threads`]) instead of sinking
+//!   the whole batch.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use crate::config::SystemConfig;
+use crate::runner::{run, CoreModel, SimSummary};
+use crate::workload::WorkloadSpec;
+
+/// One independent simulation point of a sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimJob {
+    /// Core timing model to run.
+    pub model: CoreModel,
+    /// Simulated-chip configuration.
+    pub config: SystemConfig,
+    /// What runs on the chip.
+    pub workload: WorkloadSpec,
+    /// Workload generation seed.
+    pub seed: u64,
+}
+
+impl SimJob {
+    /// Creates a job.
+    #[must_use]
+    pub fn new(model: CoreModel, config: SystemConfig, workload: WorkloadSpec, seed: u64) -> Self {
+        SimJob {
+            model,
+            config,
+            workload,
+            seed,
+        }
+    }
+}
+
+/// A job that panicked inside the batch engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobPanic {
+    /// Index of the job in the submitted list.
+    pub job: usize,
+    /// The panic payload, stringified.
+    pub message: String,
+}
+
+impl std::fmt::Display for JobPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "job {} panicked: {}", self.job, self.message)
+    }
+}
+
+impl std::error::Error for JobPanic {}
+
+/// Worker count used by [`run_batch`]: the `ISS_THREADS` environment
+/// variable when set to a positive integer, otherwise the host's available
+/// parallelism (1 if that cannot be determined).
+#[must_use]
+pub fn configured_threads() -> usize {
+    match std::env::var("ISS_THREADS") {
+        Ok(v) => match v.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => default_threads(),
+        },
+        Err(_) => default_threads(),
+    }
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Runs every job and returns one result per job, **in job order**, with
+/// per-job panic isolation: a panicking job yields `Err` for its own slot and
+/// every other job still completes.
+///
+/// `threads` is clamped to `1..=jobs.len()`; with one thread the jobs run
+/// serially on the calling thread (no pool is spawned), which is the
+/// reference execution the determinism tests compare against.
+pub fn try_run_batch_with_threads(
+    jobs: &[SimJob],
+    threads: usize,
+) -> Vec<Result<SimSummary, JobPanic>> {
+    let execute = |i: usize| {
+        let job = &jobs[i];
+        catch_unwind(AssertUnwindSafe(|| {
+            run(job.model, &job.config, &job.workload, job.seed)
+        }))
+        .map_err(|payload| JobPanic {
+            job: i,
+            message: panic_message(payload),
+        })
+    };
+
+    let threads = threads.max(1).min(jobs.len().max(1));
+    if threads <= 1 {
+        return (0..jobs.len()).map(execute).collect();
+    }
+
+    // Self-scheduling pool: each worker pulls the next unclaimed job index.
+    // Results are written into per-job slots, so ordering is by construction
+    // identical to the serial path.
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<Result<SimSummary, JobPanic>>>> =
+        jobs.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= jobs.len() {
+                    break;
+                }
+                let result = execute(i);
+                *slots[i].lock().expect("result slot lock") = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot lock")
+                .expect("every job slot is filled before the scope ends")
+        })
+        .collect()
+}
+
+/// [`try_run_batch_with_threads`] with the [`configured_threads`] worker
+/// count.
+pub fn try_run_batch(jobs: &[SimJob]) -> Vec<Result<SimSummary, JobPanic>> {
+    try_run_batch_with_threads(jobs, configured_threads())
+}
+
+/// Runs every job on `threads` workers and returns the summaries in job
+/// order.
+///
+/// # Panics
+///
+/// If any job panicked, re-raises the first failure — after every other job
+/// has completed (a poisoned job cannot leave the batch half-run).
+#[must_use]
+pub fn run_batch_with_threads(jobs: &[SimJob], threads: usize) -> Vec<SimSummary> {
+    try_run_batch_with_threads(jobs, threads)
+        .into_iter()
+        .map(|r| r.unwrap_or_else(|e| panic!("{e}")))
+        .collect()
+}
+
+/// Runs every job on the [`configured_threads`] worker count (`ISS_THREADS`,
+/// default: available parallelism) and returns the summaries in job order.
+///
+/// This is the entry point every experiment driver routes through.
+///
+/// # Panics
+///
+/// If any job panicked, re-raises the first failure after the rest of the
+/// batch completed.
+#[must_use]
+pub fn run_batch(jobs: &[SimJob]) -> Vec<SimSummary> {
+    run_batch_with_threads(jobs, configured_threads())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_jobs() -> Vec<SimJob> {
+        let c1 = SystemConfig::hpca2010_baseline(1);
+        let c2 = SystemConfig::hpca2010_baseline(2);
+        vec![
+            SimJob::new(
+                CoreModel::Interval,
+                c1,
+                WorkloadSpec::single("gcc", 3_000),
+                7,
+            ),
+            SimJob::new(
+                CoreModel::Interval,
+                c2,
+                WorkloadSpec::homogeneous("mcf", 2, 2_000),
+                7,
+            ),
+            SimJob::new(
+                CoreModel::OneIpc,
+                c1,
+                WorkloadSpec::single("gzip", 2_000),
+                7,
+            ),
+        ]
+    }
+
+    #[test]
+    fn results_come_back_in_job_order() {
+        let jobs = quick_jobs();
+        let out = run_batch_with_threads(&jobs, 3);
+        assert_eq!(out.len(), 3);
+        assert_eq!(out[0].workload, "gcc");
+        assert_eq!(out[1].workload, "mcfx2");
+        assert_eq!(out[2].workload, "gzip");
+        assert_eq!(out[2].model, CoreModel::OneIpc);
+    }
+
+    #[test]
+    fn parallel_matches_serial_canonically() {
+        let jobs = quick_jobs();
+        let serial = run_batch_with_threads(&jobs, 1);
+        let parallel = run_batch_with_threads(&jobs, 4);
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(s.canonical_record(), p.canonical_record());
+        }
+    }
+
+    #[test]
+    fn a_panicking_job_does_not_sink_the_batch() {
+        let mut jobs = quick_jobs();
+        // Unknown benchmark: `run` panics while building the workload.
+        jobs.insert(
+            1,
+            SimJob::new(
+                CoreModel::Interval,
+                SystemConfig::hpca2010_baseline(1),
+                WorkloadSpec::single("doom", 1_000),
+                7,
+            ),
+        );
+        let out = try_run_batch_with_threads(&jobs, 2);
+        assert_eq!(out.len(), 4);
+        assert!(out[0].is_ok() && out[2].is_ok() && out[3].is_ok());
+        let err = out[1].as_ref().expect_err("poisoned job must fail alone");
+        assert_eq!(err.job, 1);
+        assert!(err.message.contains("doom"), "got: {}", err.message);
+    }
+
+    #[test]
+    fn thread_count_is_clamped() {
+        let jobs = quick_jobs();
+        // More threads than jobs must not spawn idle workers that index past
+        // the job list, and zero threads must degrade to serial.
+        let a = run_batch_with_threads(&jobs, 64);
+        let b = run_batch_with_threads(&jobs, 0);
+        assert_eq!(a.len(), 3);
+        assert_eq!(b.len(), 3);
+    }
+
+    #[test]
+    fn configured_threads_is_positive() {
+        assert!(configured_threads() >= 1);
+    }
+}

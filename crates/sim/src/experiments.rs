@@ -5,12 +5,21 @@
 //! corresponding figure. The instruction budget is controlled by
 //! [`ExperimentScale`] so the same code serves quick regression tests, the
 //! Criterion benchmarks and the full figure-regeneration binaries.
+//!
+//! All sweeps are expressed as declarative [`SimJob`] lists executed by the
+//! parallel [`run_batch`](crate::batch::run_batch) engine: the simulation
+//! points of a figure are mutually independent, results come back in job
+//! order, and every simulated quantity is deterministic in
+//! `(model, config, workload, seed)` — so the rows are identical whether
+//! `ISS_THREADS` is 1 or 64 (only the host-time fields of the speedup
+//! figures vary, as wall-clock measurements do by nature).
 
 use serde::{Deserialize, Serialize};
 
+use crate::batch::{run_batch, SimJob};
 use crate::config::SystemConfig;
 use crate::metrics;
-use crate::runner::{run, CoreModel, SimSummary};
+use crate::runner::CoreModel;
 use crate::workload::WorkloadSpec;
 
 /// Instruction budget and seed for an experiment.
@@ -201,69 +210,118 @@ pub struct SpeedupRow {
     pub interval_seconds: f64,
 }
 
-fn single_ipc(
+/// Job for one single-threaded benchmark on the given configuration.
+fn single_job(
     model: CoreModel,
     config: &SystemConfig,
     benchmark: &str,
     scale: ExperimentScale,
-) -> f64 {
+) -> SimJob {
     let spec = WorkloadSpec::single(benchmark, scale.spec_length);
-    run(model, config, &spec, scale.seed).core_ipc(0)
+    SimJob::new(model, *config, spec, scale.seed)
+}
+
+/// Job for `copies` co-running copies of one SPEC benchmark.
+fn homogeneous_job(
+    model: CoreModel,
+    benchmark: &str,
+    copies: usize,
+    scale: ExperimentScale,
+) -> SimJob {
+    let config = SystemConfig::hpca2010_baseline(copies);
+    let spec = WorkloadSpec::homogeneous(benchmark, copies, scale.spec_length);
+    SimJob::new(model, config, spec, scale.seed)
+}
+
+/// Job for one multi-threaded PARSEC benchmark on `threads` cores.
+fn multithreaded_job(
+    model: CoreModel,
+    benchmark: &str,
+    threads: usize,
+    scale: ExperimentScale,
+) -> SimJob {
+    let config = SystemConfig::hpca2010_baseline(threads);
+    let spec = WorkloadSpec::multithreaded(benchmark, threads, scale.parsec_length);
+    SimJob::new(model, config, spec, scale.seed)
+}
+
+/// Shared shape of Figures 4 and 5: one (detailed, interval) job pair per
+/// benchmark, all on the same configuration.
+fn accuracy_rows(
+    config: &SystemConfig,
+    benchmarks: &[&str],
+    scale: ExperimentScale,
+) -> Vec<AccuracyRow> {
+    let jobs: Vec<SimJob> = benchmarks
+        .iter()
+        .flat_map(|b| {
+            [
+                single_job(CoreModel::Detailed, config, b, scale),
+                single_job(CoreModel::Interval, config, b, scale),
+            ]
+        })
+        .collect();
+    let out = run_batch(&jobs);
+    benchmarks
+        .iter()
+        .zip(out.chunks_exact(2))
+        .map(|(b, pair)| AccuracyRow {
+            benchmark: (*b).to_string(),
+            detailed_ipc: pair[0].core_ipc(0),
+            interval_ipc: pair[1].core_ipc(0),
+        })
+        .collect()
 }
 
 /// Figure 4: component-wise accuracy of interval simulation for one variant.
 #[must_use]
 pub fn fig4(variant: Fig4Variant, benchmarks: &[&str], scale: ExperimentScale) -> Vec<AccuracyRow> {
-    let config = variant.config();
-    benchmarks
-        .iter()
-        .map(|b| AccuracyRow {
-            benchmark: (*b).to_string(),
-            detailed_ipc: single_ipc(CoreModel::Detailed, &config, b, scale),
-            interval_ipc: single_ipc(CoreModel::Interval, &config, b, scale),
-        })
-        .collect()
+    accuracy_rows(&variant.config(), benchmarks, scale)
 }
 
 /// Figure 5: overall single-threaded accuracy (all structures real).
 #[must_use]
 pub fn fig5(benchmarks: &[&str], scale: ExperimentScale) -> Vec<AccuracyRow> {
-    let config = SystemConfig::hpca2010_baseline(1);
-    benchmarks
-        .iter()
-        .map(|b| AccuracyRow {
-            benchmark: (*b).to_string(),
-            detailed_ipc: single_ipc(CoreModel::Detailed, &config, b, scale),
-            interval_ipc: single_ipc(CoreModel::Interval, &config, b, scale),
-        })
-        .collect()
-}
-
-fn homogeneous_run(
-    model: CoreModel,
-    benchmark: &str,
-    copies: usize,
-    scale: ExperimentScale,
-) -> SimSummary {
-    let config = SystemConfig::hpca2010_baseline(copies);
-    let spec = WorkloadSpec::homogeneous(benchmark, copies, scale.spec_length);
-    run(model, &config, &spec, scale.seed)
+    accuracy_rows(&SystemConfig::hpca2010_baseline(1), benchmarks, scale)
 }
 
 /// Figure 6: STP and ANTT of homogeneous multi-program workloads as a
 /// function of the number of co-running copies.
+///
+/// Per benchmark the job list carries the two single-program baselines
+/// (C_i^SP per model) followed by a (detailed, interval) pair per copy
+/// count.
 #[must_use]
 pub fn fig6(benchmarks: &[&str], copy_counts: &[usize], scale: ExperimentScale) -> Vec<Fig6Row> {
-    let mut rows = Vec::new();
+    let mut jobs = Vec::new();
     for benchmark in benchmarks {
-        // The single-program baseline per model (C_i^SP).
-        let detailed_single =
-            homogeneous_run(CoreModel::Detailed, benchmark, 1, scale).per_core[0].cycles;
-        let interval_single =
-            homogeneous_run(CoreModel::Interval, benchmark, 1, scale).per_core[0].cycles;
+        jobs.push(homogeneous_job(CoreModel::Detailed, benchmark, 1, scale));
+        jobs.push(homogeneous_job(CoreModel::Interval, benchmark, 1, scale));
         for &copies in copy_counts {
-            let detailed = homogeneous_run(CoreModel::Detailed, benchmark, copies, scale);
-            let interval = homogeneous_run(CoreModel::Interval, benchmark, copies, scale);
+            jobs.push(homogeneous_job(
+                CoreModel::Detailed,
+                benchmark,
+                copies,
+                scale,
+            ));
+            jobs.push(homogeneous_job(
+                CoreModel::Interval,
+                benchmark,
+                copies,
+                scale,
+            ));
+        }
+    }
+    let out = run_batch(&jobs);
+    let stride = 2 + 2 * copy_counts.len();
+    let mut rows = Vec::with_capacity(benchmarks.len() * copy_counts.len());
+    for (bi, benchmark) in benchmarks.iter().enumerate() {
+        let base = bi * stride;
+        let detailed_single = out[base].per_core[0].cycles;
+        let interval_single = out[base + 1].per_core[0].cycles;
+        for (ci, &copies) in copy_counts.iter().enumerate() {
+            let detailed = &out[base + 2 + 2 * ci];
+            let interval = &out[base + 2 + 2 * ci + 1];
             let d_single: Vec<u64> = vec![detailed_single; copies];
             let i_single: Vec<u64> = vec![interval_single; copies];
             let d_multi: Vec<u64> = detailed.per_core.iter().map(|c| c.cycles).collect();
@@ -281,29 +339,42 @@ pub fn fig6(benchmarks: &[&str], copy_counts: &[usize], scale: ExperimentScale) 
     rows
 }
 
-fn multithreaded_run(
-    model: CoreModel,
-    benchmark: &str,
-    threads: usize,
-    scale: ExperimentScale,
-) -> SimSummary {
-    let config = SystemConfig::hpca2010_baseline(threads);
-    let spec = WorkloadSpec::multithreaded(benchmark, threads, scale.parsec_length);
-    run(model, &config, &spec, scale.seed)
-}
-
 /// Figure 7: normalized execution time of the multi-threaded PARSEC
 /// workloads as a function of the number of cores. Times are normalized to
 /// the detailed single-core run of the same benchmark, exactly as in the
 /// paper.
+///
+/// Per benchmark the job list carries the detailed single-core reference run
+/// followed by a (detailed, interval) pair per core count.
 #[must_use]
 pub fn fig7(benchmarks: &[&str], core_counts: &[usize], scale: ExperimentScale) -> Vec<Fig7Row> {
-    let mut rows = Vec::new();
+    let mut jobs = Vec::new();
     for benchmark in benchmarks {
-        let reference = multithreaded_run(CoreModel::Detailed, benchmark, 1, scale).cycles;
+        jobs.push(multithreaded_job(CoreModel::Detailed, benchmark, 1, scale));
         for &cores in core_counts {
-            let detailed = multithreaded_run(CoreModel::Detailed, benchmark, cores, scale);
-            let interval = multithreaded_run(CoreModel::Interval, benchmark, cores, scale);
+            jobs.push(multithreaded_job(
+                CoreModel::Detailed,
+                benchmark,
+                cores,
+                scale,
+            ));
+            jobs.push(multithreaded_job(
+                CoreModel::Interval,
+                benchmark,
+                cores,
+                scale,
+            ));
+        }
+    }
+    let out = run_batch(&jobs);
+    let stride = 1 + 2 * core_counts.len();
+    let mut rows = Vec::with_capacity(benchmarks.len() * core_counts.len());
+    for (bi, benchmark) in benchmarks.iter().enumerate() {
+        let base = bi * stride;
+        let reference = out[base].cycles;
+        for (ci, &cores) in core_counts.iter().enumerate() {
+            let detailed = &out[base + 1 + 2 * ci];
+            let interval = &out[base + 1 + 2 * ci + 1];
             rows.push(Fig7Row {
                 benchmark: (*benchmark).to_string(),
                 cores,
@@ -323,14 +394,23 @@ pub fn fig7(benchmarks: &[&str], core_counts: &[usize], scale: ExperimentScale) 
 pub fn fig8(benchmarks: &[&str], scale: ExperimentScale) -> Vec<Fig8Row> {
     let dual = SystemConfig::fig8_dual_core_l2();
     let quad = SystemConfig::fig8_quad_core_3d();
-    let mut rows = Vec::new();
-    for benchmark in benchmarks {
-        let spec_dual = WorkloadSpec::multithreaded(benchmark, 2, scale.parsec_length);
-        let spec_quad = WorkloadSpec::multithreaded(benchmark, 4, scale.parsec_length);
-        let d_dual = run(CoreModel::Detailed, &dual, &spec_dual, scale.seed);
-        let i_dual = run(CoreModel::Interval, &dual, &spec_dual, scale.seed);
-        let d_quad = run(CoreModel::Detailed, &quad, &spec_quad, scale.seed);
-        let i_quad = run(CoreModel::Interval, &quad, &spec_quad, scale.seed);
+    let jobs: Vec<SimJob> = benchmarks
+        .iter()
+        .flat_map(|benchmark| {
+            let spec_dual = WorkloadSpec::multithreaded(benchmark, 2, scale.parsec_length);
+            let spec_quad = WorkloadSpec::multithreaded(benchmark, 4, scale.parsec_length);
+            [
+                SimJob::new(CoreModel::Detailed, dual, spec_dual.clone(), scale.seed),
+                SimJob::new(CoreModel::Interval, dual, spec_dual, scale.seed),
+                SimJob::new(CoreModel::Detailed, quad, spec_quad.clone(), scale.seed),
+                SimJob::new(CoreModel::Interval, quad, spec_quad, scale.seed),
+            ]
+        })
+        .collect();
+    let out = run_batch(&jobs);
+    let mut rows = Vec::with_capacity(benchmarks.len() * 2);
+    for (benchmark, group) in benchmarks.iter().zip(out.chunks_exact(4)) {
+        let (d_dual, i_dual, d_quad, i_quad) = (&group[0], &group[1], &group[2], &group[3]);
         let reference = d_dual.cycles;
         rows.push(Fig8Row {
             benchmark: (*benchmark).to_string(),
@@ -348,15 +428,16 @@ pub fn fig8(benchmarks: &[&str], scale: ExperimentScale) -> Vec<Fig8Row> {
     rows
 }
 
-/// Figure 9: simulation speedup of interval over detailed simulation for
-/// homogeneous SPEC multi-program workloads.
-#[must_use]
-pub fn fig9(benchmarks: &[&str], core_counts: &[usize], scale: ExperimentScale) -> Vec<SpeedupRow> {
-    let mut rows = Vec::new();
+/// Shared shape of Figures 9 and 10: one (detailed, interval) job pair per
+/// (benchmark, core count); the row reports the host-time speedup.
+fn speedup_rows(benchmarks: &[&str], core_counts: &[usize], jobs: Vec<SimJob>) -> Vec<SpeedupRow> {
+    let out = run_batch(&jobs);
+    let mut rows = Vec::with_capacity(benchmarks.len() * core_counts.len());
+    let mut pairs = out.chunks_exact(2);
     for benchmark in benchmarks {
         for &cores in core_counts {
-            let detailed = homogeneous_run(CoreModel::Detailed, benchmark, cores, scale);
-            let interval = homogeneous_run(CoreModel::Interval, benchmark, cores, scale);
+            let pair = pairs.next().expect("one job pair per (benchmark, cores)");
+            let (detailed, interval) = (&pair[0], &pair[1]);
             rows.push(SpeedupRow {
                 benchmark: (*benchmark).to_string(),
                 cores,
@@ -369,6 +450,30 @@ pub fn fig9(benchmarks: &[&str], core_counts: &[usize], scale: ExperimentScale) 
     rows
 }
 
+/// Figure 9: simulation speedup of interval over detailed simulation for
+/// homogeneous SPEC multi-program workloads.
+#[must_use]
+pub fn fig9(benchmarks: &[&str], core_counts: &[usize], scale: ExperimentScale) -> Vec<SpeedupRow> {
+    let mut jobs = Vec::new();
+    for benchmark in benchmarks {
+        for &cores in core_counts {
+            jobs.push(homogeneous_job(
+                CoreModel::Detailed,
+                benchmark,
+                cores,
+                scale,
+            ));
+            jobs.push(homogeneous_job(
+                CoreModel::Interval,
+                benchmark,
+                cores,
+                scale,
+            ));
+        }
+    }
+    speedup_rows(benchmarks, core_counts, jobs)
+}
+
 /// Figure 10: simulation speedup of interval over detailed simulation for
 /// the multi-threaded PARSEC workloads.
 #[must_use]
@@ -377,21 +482,24 @@ pub fn fig10(
     core_counts: &[usize],
     scale: ExperimentScale,
 ) -> Vec<SpeedupRow> {
-    let mut rows = Vec::new();
+    let mut jobs = Vec::new();
     for benchmark in benchmarks {
         for &cores in core_counts {
-            let detailed = multithreaded_run(CoreModel::Detailed, benchmark, cores, scale);
-            let interval = multithreaded_run(CoreModel::Interval, benchmark, cores, scale);
-            rows.push(SpeedupRow {
-                benchmark: (*benchmark).to_string(),
+            jobs.push(multithreaded_job(
+                CoreModel::Detailed,
+                benchmark,
                 cores,
-                speedup: metrics::simulation_speedup(detailed.host_seconds, interval.host_seconds),
-                detailed_seconds: detailed.host_seconds,
-                interval_seconds: interval.host_seconds,
-            });
+                scale,
+            ));
+            jobs.push(multithreaded_job(
+                CoreModel::Interval,
+                benchmark,
+                cores,
+                scale,
+            ));
         }
     }
-    rows
+    speedup_rows(benchmarks, core_counts, jobs)
 }
 
 /// One row of the ablation study: how much accuracy each modeling ingredient
@@ -440,20 +548,36 @@ pub fn ablation(benchmarks: &[&str], scale: ExperimentScale) -> Vec<AblationRow>
     let mut no_reset_cfg = baseline;
     no_reset_cfg.interval_core = no_reset_cfg.interval_core.without_old_window_reset();
 
+    // Five model variants per benchmark, in the order of the row fields.
+    let jobs: Vec<SimJob> = benchmarks
+        .iter()
+        .flat_map(|b| {
+            let spec = WorkloadSpec::single(b, scale.spec_length);
+            [
+                SimJob::new(CoreModel::Detailed, baseline, spec.clone(), scale.seed),
+                SimJob::new(CoreModel::Interval, baseline, spec.clone(), scale.seed),
+                SimJob::new(
+                    CoreModel::Interval,
+                    no_overlap_cfg,
+                    spec.clone(),
+                    scale.seed,
+                ),
+                SimJob::new(CoreModel::Interval, no_reset_cfg, spec.clone(), scale.seed),
+                SimJob::new(CoreModel::OneIpc, baseline, spec, scale.seed),
+            ]
+        })
+        .collect();
+    let out = run_batch(&jobs);
     benchmarks
         .iter()
-        .map(|b| {
-            let spec = WorkloadSpec::single(b, scale.spec_length);
-            AblationRow {
-                benchmark: (*b).to_string(),
-                detailed_ipc: run(CoreModel::Detailed, &baseline, &spec, scale.seed).core_ipc(0),
-                interval_ipc: run(CoreModel::Interval, &baseline, &spec, scale.seed).core_ipc(0),
-                no_overlap_ipc: run(CoreModel::Interval, &no_overlap_cfg, &spec, scale.seed)
-                    .core_ipc(0),
-                no_reset_ipc: run(CoreModel::Interval, &no_reset_cfg, &spec, scale.seed)
-                    .core_ipc(0),
-                one_ipc_ipc: run(CoreModel::OneIpc, &baseline, &spec, scale.seed).core_ipc(0),
-            }
+        .zip(out.chunks_exact(5))
+        .map(|(b, group)| AblationRow {
+            benchmark: (*b).to_string(),
+            detailed_ipc: group[0].core_ipc(0),
+            interval_ipc: group[1].core_ipc(0),
+            no_overlap_ipc: group[2].core_ipc(0),
+            no_reset_ipc: group[3].core_ipc(0),
+            one_ipc_ipc: group[4].core_ipc(0),
         })
         .collect()
 }

@@ -7,7 +7,8 @@
 //! models (interval, detailed cycle-accurate, one-IPC), the multi-program
 //! [`metrics`] the paper reports (IPC, STP, ANTT, normalized execution time,
 //! relative error), and one [`experiments`] driver per figure of the paper's
-//! evaluation section.
+//! evaluation section. Sweeps execute through the parallel [`batch`] engine
+//! (`ISS_THREADS` workers, deterministic job-ordered results).
 //!
 //! ```
 //! use iss_sim::config::SystemConfig;
@@ -23,6 +24,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod config;
 pub mod experiments;
 pub mod metrics;
@@ -30,6 +32,7 @@ pub mod report;
 pub mod runner;
 pub mod workload;
 
+pub use batch::{run_batch, run_batch_with_threads, SimJob};
 pub use config::SystemConfig;
 pub use runner::{run, CoreModel, CoreSummary, SimSummary};
 pub use workload::WorkloadSpec;

@@ -105,6 +105,37 @@ impl SimSummary {
             self.total_instructions as f64 / self.host_seconds
         }
     }
+
+    /// Stable text encoding of every *simulated* (deterministic) field of the
+    /// summary — everything except `host_seconds`, which is host wall-clock
+    /// and varies run to run by nature.
+    ///
+    /// Two runs of the same `(model, config, workload, seed)` point must
+    /// produce byte-identical canonical records no matter how many batch
+    /// worker threads executed them; the determinism tests assert exactly
+    /// that. (The vendored `serde` is a no-op marker with no serializer
+    /// backend, so this hand-rolled encoding is the serialization the tests
+    /// compare.)
+    #[must_use]
+    pub fn canonical_record(&self) -> String {
+        use std::fmt::Write;
+        let mut s = String::new();
+        write!(
+            s,
+            "model={};workload={};cycles={};instructions={}",
+            self.model.name(),
+            self.workload,
+            self.cycles,
+            self.total_instructions
+        )
+        .expect("write to String cannot fail");
+        for c in &self.per_core {
+            write!(s, ";core{}={},{}", c.core, c.instructions, c.cycles)
+                .expect("write to String cannot fail");
+        }
+        write!(s, ";memory={:?}", self.memory).expect("write to String cannot fail");
+        s
+    }
 }
 
 /// Runs `workload` on `config` under `model` with a deterministic `seed`.

@@ -1,0 +1,31 @@
+//! The figure drivers read `ISS_THREADS`; their rows must not depend on it.
+//!
+//! This is deliberately the *only* test in this binary: it mutates the
+//! process environment with `std::env::set_var`, which is unsound when other
+//! threads concurrently read the environment (glibc `setenv`/`getenv` race).
+//! As the sole test it runs with no sibling test threads, and the batch
+//! workers it spawns never touch the environment (`configured_threads` is
+//! read on the calling thread before the pool starts).
+
+use iss_sim::batch::configured_threads;
+use iss_sim::experiments::{fig5, fig6, ExperimentScale};
+
+#[test]
+fn driver_rows_are_identical_across_worker_counts() {
+    let scale = ExperimentScale {
+        spec_length: 4_000,
+        parsec_length: 8_000,
+        seed: 5,
+    };
+    std::env::set_var("ISS_THREADS", "1");
+    assert_eq!(configured_threads(), 1);
+    let serial_fig5 = fig5(&["gcc", "mcf"], scale);
+    let serial_fig6 = fig6(&["gzip"], &[1, 2], scale);
+    std::env::set_var("ISS_THREADS", "4");
+    assert_eq!(configured_threads(), 4);
+    let parallel_fig5 = fig5(&["gcc", "mcf"], scale);
+    let parallel_fig6 = fig6(&["gzip"], &[1, 2], scale);
+    std::env::remove_var("ISS_THREADS");
+    assert_eq!(serial_fig5, parallel_fig5);
+    assert_eq!(serial_fig6, parallel_fig6);
+}

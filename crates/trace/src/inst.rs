@@ -145,7 +145,12 @@ pub struct MemAccess {
 }
 
 /// One dynamic instruction of the synthetic instruction stream.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// `Copy`: every field is plain data (~90 bytes), so the timing models move
+/// instructions through window/ROB stages with flat copies — there is no
+/// heap behind a `DynInst`, and nothing on the per-instruction hot path ever
+/// needs to allocate or `clone` one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct DynInst {
     /// Per-thread dynamic sequence number (0-based, monotonically increasing).
     pub seq: u64,

@@ -37,12 +37,14 @@
 #![warn(missing_docs)]
 
 pub mod catalog;
+pub mod fxmap;
 pub mod inst;
 pub mod profile;
 pub mod stream;
 pub mod sync;
 pub mod threaded;
 
+pub use fxmap::{FxHashMap, FxHashSet};
 pub use inst::{BranchClass, BranchInfo, DynInst, MemAccess, OpClass, RegId};
 pub use profile::{BranchBehavior, MemoryBehavior, MixWeights, SyncBehavior, WorkloadProfile};
 pub use stream::{InstructionStream, SyntheticStream};

@@ -202,6 +202,10 @@ pub struct SyntheticStream {
     last_load_dst: Option<RegId>,
     next_int_reg: RegId,
     next_fp_reg: RegId,
+    /// `ln(1 - 1/dep_distance_mean)`, hoisted out of the geometric sampling
+    /// in `pick_src` — it is constant per stream and `ln` is costly on a
+    /// path taken up to twice per generated instruction.
+    geo_ln_denom: f64,
 
     // --- data-address state ---
     stream_cursor: u64,
@@ -266,7 +270,9 @@ impl SyntheticStream {
         };
 
         let current_block = 0;
+        let geo_p = 1.0 / profile.dep_distance_mean.max(1.0);
         SyntheticStream {
+            geo_ln_denom: (1.0 - geo_p).max(1e-9).ln(),
             profile: profile.clone(),
             thread,
             rng,
@@ -397,11 +403,9 @@ impl SyntheticStream {
         if pool.is_empty() {
             return None;
         }
-        let mean = self.profile.dep_distance_mean.max(1.0);
-        let p = 1.0 / mean;
         // Sample a geometric distance (1-based).
         let u: f64 = self.rng.gen::<f64>().max(1e-12);
-        let dist = (u.ln() / (1.0 - p).max(1e-9).ln()).ceil().max(1.0) as usize;
+        let dist = (u.ln() / self.geo_ln_denom).ceil().max(1.0) as usize;
         let idx = pool.len().saturating_sub(dist.min(pool.len()));
         pool.get(idx).copied()
     }

@@ -1,0 +1,40 @@
+//! The hybrid speed-vs-CPI-error frontier: per benchmark and swap policy,
+//! how much wall-clock the policy saves over pure detailed simulation and
+//! how much CPI accuracy it gives up.
+//!
+//! `--all-benchmarks` sweeps the full SPEC CPU2000 catalog instead of the
+//! quick subset; `ISS_EXPERIMENT_SCALE` controls the instruction budget.
+
+use iss_bench::{scale_from_env, SPEC_QUICK};
+use iss_sim::experiments::{default_hybrid_policies, fig_hybrid};
+use iss_sim::report::format_hybrid_table;
+use iss_trace::catalog::SPEC_CPU2000;
+
+fn main() {
+    let all = std::env::args().any(|a| a == "--all-benchmarks");
+    let benchmarks: Vec<&str> = if all {
+        SPEC_CPU2000.to_vec()
+    } else {
+        SPEC_QUICK.to_vec()
+    };
+    let scale = scale_from_env();
+    let policies = default_hybrid_policies(scale);
+    let rows = fig_hybrid(&benchmarks, &policies, scale);
+    println!("Hybrid simulation — speed vs CPI-error frontier");
+    println!("(interval quantum per policy label; reference: pure detailed)\n");
+    print!("{}", format_hybrid_table(&rows));
+    let best = rows
+        .iter()
+        .filter(|r| r.cpi_error() <= 0.05)
+        .max_by(|a, b| a.speedup().total_cmp(&b.speedup()));
+    match best {
+        Some(r) => println!(
+            "\nbest point within 5% CPI error: {} on {} — {:.1}x at {:.1}% error",
+            r.policy,
+            r.benchmark,
+            r.speedup(),
+            r.cpi_error() * 100.0
+        ),
+        None => println!("\nno point stayed within 5% CPI error at this scale"),
+    }
+}

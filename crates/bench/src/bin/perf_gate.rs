@@ -1,0 +1,84 @@
+//! CI perf-regression gate.
+//!
+//! Compares a fresh `perf` run (`BENCH_interval.json`) against the committed
+//! baseline `ci/BENCH_baseline.json` and fails when any model's simulated
+//! MIPS regresses by more than the allowed fraction (default 25% — host
+//! machines differ, real hot-loop regressions are bigger than that).
+//!
+//! Usage:
+//!   perf_gate \[baseline\] \[fresh\] \[--max-regression-pct N\]
+//!
+//! Defaults: baseline `ci/BENCH_baseline.json`, fresh `BENCH_interval.json`.
+
+use std::process::ExitCode;
+
+use iss_bench::gates::{diff_perf, parse_perf_models};
+
+const DEFAULT_BASELINE: &str = "ci/BENCH_baseline.json";
+const DEFAULT_FRESH: &str = "BENCH_interval.json";
+
+fn read_models(path: &str) -> Result<Vec<iss_bench::gates::ModelMips>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    parse_perf_models(&text).map_err(|e| format!("cannot parse {path}: {e}"))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut max_regression = 0.25;
+    let mut paths = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--max-regression-pct" {
+            match it.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(pct) if pct > 0.0 && pct < 100.0 => max_regression = pct / 100.0,
+                _ => {
+                    eprintln!("perf gate: --max-regression-pct needs a value in (0, 100)");
+                    return ExitCode::FAILURE;
+                }
+            }
+        } else {
+            paths.push(a.clone());
+        }
+    }
+    let baseline_path = paths.first().map_or(DEFAULT_BASELINE, String::as_str);
+    let fresh_path = paths.get(1).map_or(DEFAULT_FRESH, String::as_str);
+
+    let (baseline, fresh) = match (read_models(baseline_path), read_models(fresh_path)) {
+        (Ok(b), Ok(f)) => (b, f),
+        (b, f) => {
+            for r in [b.err(), f.err()].into_iter().flatten() {
+                eprintln!("perf gate: {r}");
+            }
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "perf gate: {} baseline model(s) from {baseline_path}, fresh run {fresh_path}, \
+         max regression {:.0}%",
+        baseline.len(),
+        max_regression * 100.0
+    );
+    for f in &fresh {
+        let base = baseline
+            .iter()
+            .find(|b| b.model == f.model)
+            .map_or(f64::NAN, |b| b.simulated_mips);
+        println!(
+            "  {:<10} fresh {:>8.2} MIPS   baseline {:>8.2} MIPS",
+            f.model, f.simulated_mips, base
+        );
+    }
+    let violations = diff_perf(&baseline, &fresh, max_regression);
+    if violations.is_empty() {
+        println!("perf gate: PASS");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("perf gate: FAIL — {} violation(s):", violations.len());
+        for v in &violations {
+            eprintln!("  {v}");
+        }
+        eprintln!("if the slowdown is intended, refresh the baseline:");
+        eprintln!("  cargo run --release -p iss-bench --bin perf -- {DEFAULT_BASELINE}");
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,430 @@
+//! CI regression gates: accuracy golden-diff and perf baseline-diff.
+//!
+//! Two committed files under `ci/` pin what the build must reproduce:
+//!
+//! * `ci/golden_accuracy.json` — the per-benchmark interval-vs-detailed
+//!   error of Figures 4 and 5 and the per-policy hybrid CPI error, all at
+//!   quick scale. Every simulated quantity behind these numbers is
+//!   deterministic in `(model, config, workload, seed)`, so a diff beyond
+//!   the recorded tolerance means a *modeling* change, not noise — the gate
+//!   fails the build and forces the author to regenerate the golden file
+//!   deliberately (`accuracy_gate --write`).
+//! * `ci/BENCH_baseline.json` — a committed `perf` run. The perf gate fails
+//!   when any model's simulated MIPS regresses by more than the allowed
+//!   fraction against it. Host speed varies between machines, which is why
+//!   this gate tolerates a generous margin (default 25%) rather than an
+//!   exact match.
+//!
+//! The vendored `serde` is a no-op marker with no serializer backend, so
+//! both files are written and parsed by the hand-rolled line-oriented
+//! JSON subset in this module: one object per line inside the `rows` /
+//! `models` arrays, string fields as `"key": "value"`, numbers as
+//! `"key": 1.25`. The parsers are pure functions over text so the gate
+//! logic — including "injected drift must fail" — is unit-tested directly.
+
+use std::fmt::Write as _;
+
+use iss_sim::experiments::{
+    self, default_hybrid_policies, AccuracyRow, ExperimentScale, Fig4Variant, HybridFrontierRow,
+};
+
+/// One pinned accuracy number.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GoldenRow {
+    /// Which experiment the number comes from (`fig4-<variant>`, `fig5`, or
+    /// `hybrid-<policy label>`).
+    pub figure: String,
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Relative error against detailed simulation (interval IPC error for
+    /// the figures, hybrid CPI error for the hybrid rows).
+    pub error: f64,
+}
+
+/// A parsed golden-accuracy file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GoldenAccuracy {
+    /// Experiment scale the numbers were produced at.
+    pub scale: ExperimentScale,
+    /// Absolute error drift allowed per row.
+    pub tolerance: f64,
+    /// The pinned rows.
+    pub rows: Vec<GoldenRow>,
+}
+
+/// Extracts `"key": "value"` from a JSON-subset line.
+fn field_str(line: &str, key: &str) -> Option<String> {
+    let marker = format!("\"{key}\":");
+    let rest = &line[line.find(&marker)? + marker.len()..];
+    let open = rest.find('"')?;
+    let rest = &rest[open + 1..];
+    let close = rest.find('"')?;
+    Some(rest[..close].to_string())
+}
+
+/// Extracts `"key": <number>` from a JSON-subset line.
+fn field_num(line: &str, key: &str) -> Option<f64> {
+    let marker = format!("\"{key}\":");
+    let rest = line[line.find(&marker)? + marker.len()..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Renders a golden-accuracy file.
+#[must_use]
+pub fn render_golden_accuracy(
+    scale: ExperimentScale,
+    tolerance: f64,
+    rows: &[GoldenRow],
+) -> String {
+    let mut j = String::new();
+    j.push_str("{\n  \"schema\": \"iss-accuracy-golden/v1\",\n");
+    let _ = writeln!(
+        j,
+        "  \"scale\": {{\"spec_length\": {}, \"parsec_length\": {}, \"seed\": {}}},",
+        scale.spec_length, scale.parsec_length, scale.seed
+    );
+    let _ = writeln!(j, "  \"tolerance\": {tolerance:.4},");
+    j.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = writeln!(
+            j,
+            "    {{\"figure\": \"{}\", \"benchmark\": \"{}\", \"error\": {:.6}}}{}",
+            r.figure,
+            r.benchmark,
+            r.error,
+            if i + 1 < rows.len() { "," } else { "" }
+        );
+    }
+    j.push_str("  ]\n}\n");
+    j
+}
+
+/// Parses a golden-accuracy file.
+///
+/// # Errors
+///
+/// Returns a message when the schema marker or any required field is
+/// missing or malformed.
+pub fn parse_golden_accuracy(text: &str) -> Result<GoldenAccuracy, String> {
+    if !text.contains("iss-accuracy-golden/v1") {
+        return Err("not an iss-accuracy-golden/v1 file".to_string());
+    }
+    let mut scale = None;
+    let mut tolerance = None;
+    let mut rows = Vec::new();
+    for line in text.lines() {
+        let trimmed = line.trim();
+        if trimmed.contains("\"spec_length\"") {
+            scale = Some(ExperimentScale {
+                spec_length: field_num(trimmed, "spec_length")
+                    .ok_or("malformed scale: spec_length")? as u64,
+                parsec_length: field_num(trimmed, "parsec_length")
+                    .ok_or("malformed scale: parsec_length")? as u64,
+                seed: field_num(trimmed, "seed").ok_or("malformed scale: seed")? as u64,
+            });
+        } else if trimmed.starts_with("\"tolerance\"") {
+            tolerance = field_num(trimmed, "tolerance");
+        } else if trimmed.contains("\"figure\"") {
+            rows.push(GoldenRow {
+                figure: field_str(trimmed, "figure").ok_or("malformed row: figure")?,
+                benchmark: field_str(trimmed, "benchmark").ok_or("malformed row: benchmark")?,
+                error: field_num(trimmed, "error").ok_or("malformed row: error")?,
+            });
+        }
+    }
+    Ok(GoldenAccuracy {
+        scale: scale.ok_or("missing scale")?,
+        tolerance: tolerance.ok_or("missing tolerance")?,
+        rows,
+    })
+}
+
+/// Diffs freshly computed rows against a golden file. Returns one violation
+/// message per drifted, missing or unpinned row; an empty list means the
+/// gate passes.
+#[must_use]
+pub fn diff_accuracy(golden: &GoldenAccuracy, current: &[GoldenRow]) -> Vec<String> {
+    let mut violations = Vec::new();
+    for g in &golden.rows {
+        match current
+            .iter()
+            .find(|c| c.figure == g.figure && c.benchmark == g.benchmark)
+        {
+            None => violations.push(format!(
+                "{} / {}: pinned in the golden file but not produced by this build",
+                g.figure, g.benchmark
+            )),
+            Some(c) => {
+                let drift = (c.error - g.error).abs();
+                if drift > golden.tolerance {
+                    violations.push(format!(
+                        "{} / {}: error {:.4} drifted {:.4} from golden {:.4} \
+                         (tolerance {:.4})",
+                        g.figure, g.benchmark, c.error, drift, g.error, golden.tolerance
+                    ));
+                }
+            }
+        }
+    }
+    for c in current {
+        if !golden
+            .rows
+            .iter()
+            .any(|g| g.figure == c.figure && g.benchmark == c.benchmark)
+        {
+            violations.push(format!(
+                "{} / {}: produced by this build but not pinned — regenerate the \
+                 golden file (accuracy_gate --write)",
+                c.figure, c.benchmark
+            ));
+        }
+    }
+    violations
+}
+
+/// Computes the current accuracy rows: all four Figure 4 variants, Figure 5,
+/// and the hybrid frontier under the default policy sweep.
+#[must_use]
+pub fn compute_accuracy_rows(benchmarks: &[&str], scale: ExperimentScale) -> Vec<GoldenRow> {
+    let mut rows = Vec::new();
+    let fig4_slug = |v: Fig4Variant| match v {
+        Fig4Variant::EffectiveDispatchRate => "fig4-dispatch",
+        Fig4Variant::ICache => "fig4-icache",
+        Fig4Variant::BranchPrediction => "fig4-branch",
+        Fig4Variant::L2Cache => "fig4-l2",
+    };
+    for variant in Fig4Variant::all() {
+        for r in experiments::fig4(variant, benchmarks, scale) {
+            rows.push(accuracy_row(fig4_slug(variant), &r));
+        }
+    }
+    for r in experiments::fig5(benchmarks, scale) {
+        rows.push(accuracy_row("fig5", &r));
+    }
+    let policies = default_hybrid_policies(scale);
+    for r in experiments::fig_hybrid(benchmarks, &policies, scale) {
+        rows.push(hybrid_row(&r));
+    }
+    rows
+}
+
+fn accuracy_row(figure: &str, r: &AccuracyRow) -> GoldenRow {
+    GoldenRow {
+        figure: figure.to_string(),
+        benchmark: r.benchmark.clone(),
+        error: r.error(),
+    }
+}
+
+fn hybrid_row(r: &HybridFrontierRow) -> GoldenRow {
+    GoldenRow {
+        figure: format!("hybrid-{}", r.policy),
+        benchmark: r.benchmark.clone(),
+        error: r.cpi_error(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Perf baseline gate
+// ---------------------------------------------------------------------------
+
+/// Simulated-MIPS entry of one model in a perf file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelMips {
+    /// Model name (`interval`, `detailed`, `one-ipc`).
+    pub model: String,
+    /// Simulated MIPS the perf run measured.
+    pub simulated_mips: f64,
+}
+
+/// Parses the `models` entries of a `BENCH_interval.json` perf file.
+///
+/// # Errors
+///
+/// Returns a message when the schema marker is missing or no model entry
+/// parses.
+pub fn parse_perf_models(text: &str) -> Result<Vec<ModelMips>, String> {
+    if !text.contains("iss-bench-perf/v1") {
+        return Err("not an iss-bench-perf/v1 file".to_string());
+    }
+    let models: Vec<ModelMips> = text
+        .lines()
+        .filter(|l| l.contains("\"model\"") && l.contains("\"simulated_mips\""))
+        .filter_map(|l| {
+            Some(ModelMips {
+                model: field_str(l, "model")?,
+                simulated_mips: field_num(l, "simulated_mips")?,
+            })
+        })
+        .collect();
+    if models.is_empty() {
+        return Err("no model entries found in perf file".to_string());
+    }
+    Ok(models)
+}
+
+/// Diffs a fresh perf run against the committed baseline. A model regresses
+/// when its simulated MIPS falls below `(1 - max_regression)` of the
+/// baseline; missing models are violations too. Speedups never fail the
+/// gate.
+#[must_use]
+pub fn diff_perf(baseline: &[ModelMips], fresh: &[ModelMips], max_regression: f64) -> Vec<String> {
+    let mut violations = Vec::new();
+    for b in baseline {
+        match fresh.iter().find(|f| f.model == b.model) {
+            None => violations.push(format!(
+                "{}: present in the baseline but missing from the fresh run",
+                b.model
+            )),
+            Some(f) => {
+                let floor = b.simulated_mips * (1.0 - max_regression);
+                if f.simulated_mips < floor {
+                    violations.push(format!(
+                        "{}: {:.2} simulated MIPS is below the allowed floor {:.2} \
+                         (baseline {:.2}, max regression {:.0}%)",
+                        b.model,
+                        f.simulated_mips,
+                        floor,
+                        b.simulated_mips,
+                        max_regression * 100.0
+                    ));
+                }
+            }
+        }
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn golden() -> GoldenAccuracy {
+        GoldenAccuracy {
+            scale: ExperimentScale::quick(),
+            tolerance: 0.02,
+            rows: vec![
+                GoldenRow {
+                    figure: "fig5".into(),
+                    benchmark: "gcc".into(),
+                    error: 0.085,
+                },
+                GoldenRow {
+                    figure: "hybrid-periodic-4@2000".into(),
+                    benchmark: "mcf".into(),
+                    error: 0.031,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn golden_file_round_trips_through_render_and_parse() {
+        let g = golden();
+        let text = render_golden_accuracy(g.scale, g.tolerance, &g.rows);
+        let parsed = parse_golden_accuracy(&text).unwrap();
+        assert_eq!(parsed.scale, g.scale);
+        assert!((parsed.tolerance - g.tolerance).abs() < 1e-9);
+        assert_eq!(parsed.rows.len(), 2);
+        assert_eq!(parsed.rows[0].figure, "fig5");
+        assert!((parsed.rows[1].error - 0.031).abs() < 1e-6);
+    }
+
+    #[test]
+    fn matching_rows_pass_the_accuracy_gate() {
+        let g = golden();
+        // Within tolerance: tiny platform wiggle.
+        let mut current = g.rows.clone();
+        current[0].error += 0.019;
+        assert!(diff_accuracy(&g, &current).is_empty());
+    }
+
+    #[test]
+    fn injected_accuracy_drift_fails_the_gate() {
+        let g = golden();
+        let mut current = g.rows.clone();
+        current[0].error += 0.05; // injected drift beyond the 0.02 tolerance
+        let violations = diff_accuracy(&g, &current);
+        assert_eq!(violations.len(), 1);
+        assert!(violations[0].contains("fig5 / gcc"), "got: {violations:?}");
+        assert!(violations[0].contains("drifted"));
+    }
+
+    #[test]
+    fn missing_and_unpinned_rows_fail_the_gate() {
+        let g = golden();
+        let current = vec![
+            g.rows[0].clone(),
+            GoldenRow {
+                figure: "fig5".into(),
+                benchmark: "newbench".into(),
+                error: 0.01,
+            },
+        ];
+        let violations = diff_accuracy(&g, &current);
+        assert_eq!(violations.len(), 2);
+        assert!(violations.iter().any(|v| v.contains("not produced")));
+        assert!(violations.iter().any(|v| v.contains("not pinned")));
+    }
+
+    #[test]
+    fn perf_file_parses_model_mips() {
+        let text = "{\n  \"schema\": \"iss-bench-perf/v1\",\n  \"models\": [\n    \
+                    {\"model\": \"interval\", \"instructions\": 120000, \
+                    \"host_seconds\": 0.021, \"simulated_mips\": 5.71},\n    \
+                    {\"model\": \"detailed\", \"instructions\": 120000, \
+                    \"host_seconds\": 0.134, \"simulated_mips\": 0.89}\n  ]\n}\n";
+        let models = parse_perf_models(text).unwrap();
+        assert_eq!(models.len(), 2);
+        assert_eq!(models[0].model, "interval");
+        assert!((models[1].simulated_mips - 0.89).abs() < 1e-9);
+    }
+
+    #[test]
+    fn injected_perf_regression_fails_the_gate() {
+        let baseline = vec![
+            ModelMips {
+                model: "interval".into(),
+                simulated_mips: 5.6,
+            },
+            ModelMips {
+                model: "detailed".into(),
+                simulated_mips: 0.9,
+            },
+        ];
+        // Interval regresses by 50%: violation. Detailed speeds up: fine.
+        let fresh = vec![
+            ModelMips {
+                model: "interval".into(),
+                simulated_mips: 2.8,
+            },
+            ModelMips {
+                model: "detailed".into(),
+                simulated_mips: 1.2,
+            },
+        ];
+        let violations = diff_perf(&baseline, &fresh, 0.25);
+        assert_eq!(violations.len(), 1);
+        assert!(
+            violations[0].starts_with("interval:"),
+            "got: {violations:?}"
+        );
+    }
+
+    #[test]
+    fn perf_within_margin_and_missing_model_behave() {
+        let baseline = vec![ModelMips {
+            model: "one-ipc".into(),
+            simulated_mips: 8.0,
+        }];
+        let ok = vec![ModelMips {
+            model: "one-ipc".into(),
+            simulated_mips: 6.5, // ~19% down, within the 25% margin
+        }];
+        assert!(diff_perf(&baseline, &ok, 0.25).is_empty());
+        assert_eq!(diff_perf(&baseline, &[], 0.25).len(), 1);
+    }
+}

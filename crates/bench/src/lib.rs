@@ -10,6 +10,8 @@
 //! smoke runs), `full` (the paper-style runs), or a number of instructions
 //! per benchmark.
 
+pub mod gates;
+
 use iss_sim::experiments::ExperimentScale;
 
 /// Reads the experiment scale from `ISS_EXPERIMENT_SCALE`.

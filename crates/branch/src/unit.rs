@@ -68,6 +68,7 @@ impl BranchStats {
 /// The direction predictor is an [`AnyDirectionPredictor`] enum, not a boxed
 /// trait object: predictions happen once per dynamic branch, and enum
 /// dispatch keeps that call monomorphic (no vtable on the hot path).
+#[derive(Clone)]
 pub struct BranchUnit {
     config: BranchPredictorConfig,
     direction: AnyDirectionPredictor,
@@ -103,6 +104,16 @@ impl BranchUnit {
             ras: ReturnAddressStack::new(config.ras_entries),
             stats: BranchStats::default(),
         }
+    }
+
+    /// Captures the complete predictor state — direction tables, BTB, RAS
+    /// and the accumulated statistics — as a standalone value. A hybrid
+    /// model swap installs the snapshot into the incoming core's front-end
+    /// (the cores' `install_branch_unit`), so the incoming model starts
+    /// with warm tables instead of re-learning every branch.
+    #[must_use]
+    pub fn snapshot(&self) -> BranchUnit {
+        self.clone()
     }
 
     /// Whether this unit never mispredicts (perfect mode for Figure 4).
@@ -362,5 +373,26 @@ mod tests {
         let o = u.predict_and_update(0x5000, &cond(false, 0x9000, 0x5004));
         assert!(!o.mispredicted);
         assert_eq!(u.stats().mispredictions, before);
+    }
+
+    #[test]
+    fn snapshot_restore_preserves_trained_state() {
+        let mut trained = BranchUnit::new(&BranchPredictorConfig::hpca2010_baseline());
+        for i in 0..200u64 {
+            let taken = i % 3 != 0;
+            trained.predict_and_update(0x7000 + (i % 16) * 4, &cond(taken, 0xA000, 0x7004));
+        }
+        let restored = trained.snapshot();
+        assert_eq!(restored.stats(), trained.stats());
+        // The restored unit must make the same predictions as the trained one
+        // on a probe sequence (tables carried over, not reset).
+        for i in 0..32u64 {
+            let info = cond(i % 3 != 0, 0xA000, 0x7004);
+            let pc = 0x7000 + (i % 16) * 4;
+            assert_eq!(
+                restored.would_mispredict(pc, &info),
+                trained.would_mispredict(pc, &info)
+            );
+        }
     }
 }

@@ -28,7 +28,7 @@ enum DispatchOutcome {
 }
 
 /// One core simulated with the interval model.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct IntervalCore<S> {
     core_id: ThreadId,
     config: IntervalCoreConfig,
@@ -106,6 +106,46 @@ impl<S: InstructionStream> IntervalCore<S> {
     #[must_use]
     pub fn branch_stats(&self) -> BranchStats {
         self.branch_unit.stats()
+    }
+
+    /// The branch-prediction front-end (for checkpointing its warm tables).
+    #[must_use]
+    pub fn branch_unit(&self) -> &BranchUnit {
+        &self.branch_unit
+    }
+
+    /// Replaces the branch front-end with `unit` (typically a warm snapshot
+    /// carried over from an outgoing model at a hybrid swap).
+    pub fn install_branch_unit(&mut self, unit: BranchUnit) {
+        self.branch_unit = unit;
+    }
+
+    /// The instruction source feeding this core.
+    #[must_use]
+    pub fn stream(&self) -> &S {
+        &self.stream
+    }
+
+    /// Instructions fetched into the look-ahead window but not yet retired,
+    /// oldest first. At a checkpoint these must be replayed to the incoming
+    /// model, since they have already been consumed from the stream.
+    #[must_use]
+    pub fn pending_insts(&self) -> Vec<DynInst> {
+        self.window.iter().map(|e| e.inst).collect()
+    }
+
+    /// Positions a freshly built core at a checkpoint's resume point: its
+    /// clock, its retired-instruction base, and (for cores that had already
+    /// finished) the final state. Microarchitectural warm-up state (old
+    /// window, overlap flags, dispatch credit) restarts cold — the interval
+    /// model rebuilds it within one interval.
+    pub fn resume_at(&mut self, resume: &iss_trace::CoreResume) {
+        self.core_sim_time = resume.time;
+        self.stats.instructions = resume.instructions;
+        if resume.done {
+            self.done = true;
+            self.stats.cycles = resume.time;
+        }
     }
 
     fn refill_window(&mut self) {

@@ -61,12 +61,15 @@ impl IntervalSimResult {
 }
 
 /// Multi-core interval simulator.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct IntervalSimulator<S> {
     cores: Vec<IntervalCore<S>>,
     mem: MemoryHierarchy,
     sync: SyncController,
     multi_core_time: u64,
+    /// Host wall-clock seconds accumulated across all advancement calls
+    /// (`run_with_limit` and `step_interval` both add to it).
+    host_seconds: f64,
 }
 
 impl<S: InstructionStream> IntervalSimulator<S> {
@@ -106,6 +109,7 @@ impl<S: InstructionStream> IntervalSimulator<S> {
             mem: MemoryHierarchy::new(mem_config),
             sync,
             multi_core_time: 0,
+            host_seconds: 0.0,
         }
     }
 
@@ -121,6 +125,36 @@ impl<S: InstructionStream> IntervalSimulator<S> {
         self.multi_core_time
     }
 
+    /// Whether every core has retired its entire stream.
+    #[must_use]
+    pub fn is_done(&self) -> bool {
+        self.cores.iter().all(IntervalCore::is_done)
+    }
+
+    /// Total instructions retired so far across all cores.
+    #[must_use]
+    pub fn total_retired(&self) -> u64 {
+        self.cores.iter().map(|c| c.stats().instructions).sum()
+    }
+
+    /// The simulated cores (read-only, for checkpointing).
+    #[must_use]
+    pub fn cores(&self) -> &[IntervalCore<S>] {
+        &self.cores
+    }
+
+    /// The shared memory hierarchy (read-only, for checkpointing).
+    #[must_use]
+    pub fn memory(&self) -> &MemoryHierarchy {
+        &self.mem
+    }
+
+    /// The shared synchronization controller (read-only, for checkpointing).
+    #[must_use]
+    pub fn sync_controller(&self) -> &SyncController {
+        &self.sync
+    }
+
     /// Runs the simulation to completion and returns the result.
     pub fn run(&mut self) -> IntervalSimResult {
         self.run_with_limit(u64::MAX)
@@ -129,7 +163,28 @@ impl<S: InstructionStream> IntervalSimulator<S> {
     /// Runs the simulation until every core finished or `max_cycles` elapsed.
     pub fn run_with_limit(&mut self, max_cycles: u64) -> IntervalSimResult {
         let start = Instant::now();
+        self.advance(max_cycles, u64::MAX);
+        self.host_seconds += start.elapsed().as_secs_f64();
+        self.result()
+    }
+
+    /// Advances the simulation until at least `insts` more instructions have
+    /// retired chip-wide (or every core finished). This is the quantum the
+    /// hybrid swap controller steps a model by; between calls the simulator
+    /// is in exactly the state a continued `run` would have passed through,
+    /// so stepping in intervals is bit-identical to one uninterrupted run.
+    pub fn step_interval(&mut self, insts: u64) {
+        let start = Instant::now();
+        let target = self.total_retired().saturating_add(insts);
+        self.advance(u64::MAX, target);
+        self.host_seconds += start.elapsed().as_secs_f64();
+    }
+
+    fn advance(&mut self, max_cycles: u64, inst_target: u64) {
         while self.multi_core_time < max_cycles && !self.cores.iter().all(IntervalCore::is_done) {
+            if inst_target != u64::MAX && self.total_retired() >= inst_target {
+                break;
+            }
             for core in &mut self.cores {
                 core.step_cycle(self.multi_core_time, &mut self.mem, &mut self.sync);
             }
@@ -152,11 +207,47 @@ impl<S: InstructionStream> IntervalSimulator<S> {
                 _ => self.multi_core_time + 1,
             };
         }
-        let host_seconds = start.elapsed().as_secs_f64();
-        self.result(host_seconds)
     }
 
-    fn result(&self, host_seconds: f64) -> IntervalSimResult {
+    /// Installs checkpointed warm state into a freshly built simulator: the
+    /// transferred memory hierarchy (cache/TLB/DRAM warmth), the machine
+    /// clock, each core's resume point, and (when the outgoing model had
+    /// them) the warm branch-predictor tables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the transferred state does not cover every core.
+    pub fn restore_warm(
+        &mut self,
+        mem: MemoryHierarchy,
+        machine_time: u64,
+        per_core: &[iss_trace::CoreResume],
+        branch: Option<&[iss_branch::BranchUnit]>,
+    ) {
+        assert_eq!(
+            mem.num_cores(),
+            self.cores.len(),
+            "transferred hierarchy must cover every core"
+        );
+        assert_eq!(
+            per_core.len(),
+            self.cores.len(),
+            "one resume point per core is required"
+        );
+        self.mem = mem;
+        self.multi_core_time = machine_time;
+        for (i, core) in self.cores.iter_mut().enumerate() {
+            core.resume_at(&per_core[i]);
+            if let Some(units) = branch {
+                core.install_branch_unit(units[i].clone());
+            }
+        }
+    }
+
+    /// Builds the result for the current state (accumulated host time).
+    #[must_use]
+    pub fn result(&self) -> IntervalSimResult {
+        let host_seconds = self.host_seconds;
         let per_core: Vec<CoreResult> = self
             .cores
             .iter()

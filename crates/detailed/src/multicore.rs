@@ -60,12 +60,14 @@ impl DetailedSimResult {
 }
 
 /// Cycle-accurate multi-core simulator (the paper's baseline).
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct DetailedSimulator<S> {
     cores: Vec<OutOfOrderCore<S>>,
     mem: MemoryHierarchy,
     sync: SyncController,
     cycle: u64,
+    /// Host wall-clock seconds accumulated across all advancement calls.
+    host_seconds: f64,
 }
 
 impl<S: InstructionStream> DetailedSimulator<S> {
@@ -103,6 +105,7 @@ impl<S: InstructionStream> DetailedSimulator<S> {
             mem: MemoryHierarchy::new(mem_config),
             sync,
             cycle: 0,
+            host_seconds: 0.0,
         }
     }
 
@@ -110,6 +113,42 @@ impl<S: InstructionStream> DetailedSimulator<S> {
     #[must_use]
     pub fn num_cores(&self) -> usize {
         self.cores.len()
+    }
+
+    /// Whether every core has committed its entire stream.
+    #[must_use]
+    pub fn is_done(&self) -> bool {
+        self.cores.iter().all(OutOfOrderCore::is_done)
+    }
+
+    /// Total instructions committed so far across all cores.
+    #[must_use]
+    pub fn total_retired(&self) -> u64 {
+        self.cores.iter().map(|c| c.stats().instructions).sum()
+    }
+
+    /// The current machine cycle.
+    #[must_use]
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// The simulated cores (read-only, for checkpointing).
+    #[must_use]
+    pub fn cores(&self) -> &[OutOfOrderCore<S>] {
+        &self.cores
+    }
+
+    /// The shared memory hierarchy (read-only, for checkpointing).
+    #[must_use]
+    pub fn memory(&self) -> &MemoryHierarchy {
+        &self.mem
+    }
+
+    /// The shared synchronization controller (read-only, for checkpointing).
+    #[must_use]
+    pub fn sync_controller(&self) -> &SyncController {
+        &self.sync
     }
 
     /// Runs to completion.
@@ -120,13 +159,68 @@ impl<S: InstructionStream> DetailedSimulator<S> {
     /// Runs until every core finished or `max_cycles` elapsed.
     pub fn run_with_limit(&mut self, max_cycles: u64) -> DetailedSimResult {
         let start = Instant::now();
+        self.advance(max_cycles, u64::MAX);
+        self.host_seconds += start.elapsed().as_secs_f64();
+        self.result()
+    }
+
+    /// Advances until at least `insts` more instructions commit chip-wide
+    /// (or every core finishes) — the hybrid swap controller's quantum.
+    pub fn step_interval(&mut self, insts: u64) {
+        let start = Instant::now();
+        let target = self.total_retired().saturating_add(insts);
+        self.advance(u64::MAX, target);
+        self.host_seconds += start.elapsed().as_secs_f64();
+    }
+
+    fn advance(&mut self, max_cycles: u64, inst_target: u64) {
         while self.cycle < max_cycles && !self.cores.iter().all(OutOfOrderCore::is_done) {
+            if inst_target != u64::MAX && self.total_retired() >= inst_target {
+                break;
+            }
             for core in &mut self.cores {
                 core.step_cycle(self.cycle, &mut self.mem, &mut self.sync);
             }
             self.cycle += 1;
         }
-        let host_seconds = start.elapsed().as_secs_f64();
+    }
+
+    /// Installs checkpointed warm state into a freshly built simulator (see
+    /// the interval simulator's `restore_warm` for the contract).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the transferred state does not cover every core.
+    pub fn restore_warm(
+        &mut self,
+        mem: MemoryHierarchy,
+        machine_time: u64,
+        per_core: &[iss_trace::CoreResume],
+        branch: Option<&[iss_branch::BranchUnit]>,
+    ) {
+        assert_eq!(
+            mem.num_cores(),
+            self.cores.len(),
+            "transferred hierarchy must cover every core"
+        );
+        assert_eq!(
+            per_core.len(),
+            self.cores.len(),
+            "one resume point per core is required"
+        );
+        self.mem = mem;
+        self.cycle = machine_time;
+        for (i, core) in self.cores.iter_mut().enumerate() {
+            core.resume_at(&per_core[i]);
+            if let Some(units) = branch {
+                core.install_branch_unit(units[i].clone());
+            }
+        }
+    }
+
+    /// Builds the result for the current state (accumulated host time).
+    #[must_use]
+    pub fn result(&self) -> DetailedSimResult {
         let per_core: Vec<DetailedCoreResult> = self
             .cores
             .iter()
@@ -154,7 +248,7 @@ impl<S: InstructionStream> DetailedSimulator<S> {
                 .map(OutOfOrderCore::branch_stats)
                 .collect(),
             memory: self.mem.stats(),
-            host_seconds,
+            host_seconds: self.host_seconds,
             total_instructions,
         }
     }
@@ -175,12 +269,14 @@ impl DetailedSimulator<SyntheticStream> {
 }
 
 /// Multi-core wrapper around the one-IPC model.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct OneIpcSimulator<S> {
     cores: Vec<OneIpcCore<S>>,
     mem: MemoryHierarchy,
     sync: SyncController,
     cycle: u64,
+    /// Host wall-clock seconds accumulated across all advancement calls.
+    host_seconds: f64,
 }
 
 impl<S: InstructionStream> OneIpcSimulator<S> {
@@ -211,19 +307,108 @@ impl<S: InstructionStream> OneIpcSimulator<S> {
             mem: MemoryHierarchy::new(mem_config),
             sync,
             cycle: 0,
+            host_seconds: 0.0,
         }
+    }
+
+    /// Whether every core has executed its entire stream.
+    #[must_use]
+    pub fn is_done(&self) -> bool {
+        self.cores.iter().all(OneIpcCore::is_done)
+    }
+
+    /// Total instructions executed so far across all cores.
+    #[must_use]
+    pub fn total_retired(&self) -> u64 {
+        self.cores.iter().map(|c| c.stats().instructions).sum()
+    }
+
+    /// The current machine cycle.
+    #[must_use]
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// The simulated cores (read-only, for checkpointing).
+    #[must_use]
+    pub fn cores(&self) -> &[OneIpcCore<S>] {
+        &self.cores
+    }
+
+    /// The shared memory hierarchy (read-only, for checkpointing).
+    #[must_use]
+    pub fn memory(&self) -> &MemoryHierarchy {
+        &self.mem
+    }
+
+    /// The shared synchronization controller (read-only, for checkpointing).
+    #[must_use]
+    pub fn sync_controller(&self) -> &SyncController {
+        &self.sync
     }
 
     /// Runs to completion (bounded by `max_cycles`).
     pub fn run_with_limit(&mut self, max_cycles: u64) -> DetailedSimResult {
         let start = Instant::now();
+        self.advance(max_cycles, u64::MAX);
+        self.host_seconds += start.elapsed().as_secs_f64();
+        self.result()
+    }
+
+    /// Advances until at least `insts` more instructions execute chip-wide
+    /// (or every core finishes) — the hybrid swap controller's quantum.
+    pub fn step_interval(&mut self, insts: u64) {
+        let start = Instant::now();
+        let target = self.total_retired().saturating_add(insts);
+        self.advance(u64::MAX, target);
+        self.host_seconds += start.elapsed().as_secs_f64();
+    }
+
+    fn advance(&mut self, max_cycles: u64, inst_target: u64) {
         while self.cycle < max_cycles && !self.cores.iter().all(OneIpcCore::is_done) {
+            if inst_target != u64::MAX && self.total_retired() >= inst_target {
+                break;
+            }
             for core in &mut self.cores {
                 core.step_cycle(self.cycle, &mut self.mem, &mut self.sync);
             }
             self.cycle += 1;
         }
-        let host_seconds = start.elapsed().as_secs_f64();
+    }
+
+    /// Installs checkpointed warm state into a freshly built simulator. The
+    /// one-IPC model has no branch predictor, so warm branch state (if any)
+    /// is dropped here and re-learned if a later swap leaves this model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the transferred state does not cover every core.
+    pub fn restore_warm(
+        &mut self,
+        mem: MemoryHierarchy,
+        machine_time: u64,
+        per_core: &[iss_trace::CoreResume],
+    ) {
+        assert_eq!(
+            mem.num_cores(),
+            self.cores.len(),
+            "transferred hierarchy must cover every core"
+        );
+        assert_eq!(
+            per_core.len(),
+            self.cores.len(),
+            "one resume point per core is required"
+        );
+        self.mem = mem;
+        self.cycle = machine_time;
+        for (i, core) in self.cores.iter_mut().enumerate() {
+            core.resume_at(&per_core[i]);
+        }
+    }
+
+    /// Builds the result for the current state (accumulated host time).
+    #[must_use]
+    pub fn result(&self) -> DetailedSimResult {
         let per_core: Vec<DetailedCoreResult> = self
             .cores
             .iter()
@@ -247,7 +432,7 @@ impl<S: InstructionStream> OneIpcSimulator<S> {
             per_core,
             branch: Vec::new(),
             memory: self.mem.stats(),
-            host_seconds,
+            host_seconds: self.host_seconds,
             total_instructions,
         }
     }

@@ -14,7 +14,7 @@ use iss_trace::{InstructionStream, SyncController, SyncOp, ThreadId};
 use crate::stats::DetailedCoreStats;
 
 /// One core simulated with the one-IPC model.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct OneIpcCore<S> {
     core_id: ThreadId,
     stream: S,
@@ -117,6 +117,32 @@ impl<S: InstructionStream> OneIpcCore<S> {
     #[must_use]
     pub fn core_time(&self) -> u64 {
         self.core_time
+    }
+
+    /// The instruction source feeding this core.
+    #[must_use]
+    pub fn stream(&self) -> &S {
+        &self.stream
+    }
+
+    /// The instruction (if any) fetched but not yet executed — a lock
+    /// acquire or join that could not proceed. At a checkpoint it must be
+    /// replayed to the incoming model.
+    #[must_use]
+    pub fn pending_insts(&self) -> Vec<iss_trace::DynInst> {
+        self.pending.iter().copied().collect()
+    }
+
+    /// Positions a freshly built core at a checkpoint's resume point: its
+    /// clock, its retired-instruction base, and (for finished cores) the
+    /// final state.
+    pub fn resume_at(&mut self, resume: &iss_trace::CoreResume) {
+        self.core_time = resume.time;
+        self.stats.instructions = resume.instructions;
+        if resume.done {
+            self.done = true;
+            self.stats.cycles = resume.time;
+        }
     }
 }
 

@@ -65,7 +65,7 @@ struct RobEntry {
 }
 
 /// One core simulated cycle-accurately.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct OutOfOrderCore<S> {
     core_id: ThreadId,
     config: DetailedCoreConfig,
@@ -162,6 +162,51 @@ impl<S: InstructionStream> OutOfOrderCore<S> {
     #[must_use]
     pub fn rob_occupancy(&self) -> usize {
         self.rob.len()
+    }
+
+    /// The branch-prediction front-end (for checkpointing its warm tables).
+    #[must_use]
+    pub fn branch_unit(&self) -> &BranchUnit {
+        &self.branch_unit
+    }
+
+    /// Replaces the branch front-end with `unit` (typically a warm snapshot
+    /// carried over from an outgoing model at a hybrid swap).
+    pub fn install_branch_unit(&mut self, unit: BranchUnit) {
+        self.branch_unit = unit;
+    }
+
+    /// The instruction source feeding this core.
+    #[must_use]
+    pub fn stream(&self) -> &S {
+        &self.stream
+    }
+
+    /// Instructions fetched from the stream but not yet committed, oldest
+    /// first: the ROB contents (dispatched, in flight) followed by the fetch
+    /// queue. At a checkpoint these must be replayed to the incoming model.
+    #[must_use]
+    pub fn pending_insts(&self) -> Vec<DynInst> {
+        self.rob
+            .iter()
+            .map(|e| e.inst)
+            .chain(self.fetch_queue.iter().map(|fe| fe.inst))
+            .collect()
+    }
+
+    /// Positions a freshly built core at a checkpoint's resume point. The
+    /// core's fetch stage stays idle until the resume time is reached (the
+    /// outgoing model may have run this core ahead of the machine clock), and
+    /// the retired-instruction counter continues from the checkpoint base.
+    /// In-flight microarchitectural state (ROB/IQ/LSQ occupancy) restarts
+    /// empty; the replayed instructions refill it.
+    pub fn resume_at(&mut self, resume: &iss_trace::CoreResume) {
+        self.fetch_blocked_until = resume.time;
+        self.stats.instructions = resume.instructions;
+        if resume.done {
+            self.done = true;
+            self.stats.cycles = resume.time;
+        }
     }
 
     /// Simulates one cycle at time `now`. Stages run commit → issue →

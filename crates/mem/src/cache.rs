@@ -184,6 +184,23 @@ impl Cache {
         addr >> self.line_shift << self.line_shift
     }
 
+    /// Total line capacity (warmth denominator).
+    #[must_use]
+    pub fn capacity_lines(&self) -> usize {
+        self.config.num_sets() * self.config.ways
+    }
+
+    /// Fraction of the cache holding valid lines, in `0.0..=1.0`.
+    #[must_use]
+    pub fn warmth(&self) -> f64 {
+        let valid: usize = self
+            .sets
+            .iter()
+            .map(|set| set.iter().filter(|l| l.state.is_valid()).count())
+            .sum();
+        valid as f64 / self.capacity_lines().max(1) as f64
+    }
+
     fn set_index(&self, addr: u64) -> usize {
         ((addr >> self.line_shift) & self.set_mask) as usize
     }

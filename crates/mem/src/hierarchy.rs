@@ -72,8 +72,27 @@ impl AccessResponse {
     }
 }
 
+/// How warm each structure of the hierarchy is: the fraction of its capacity
+/// holding valid entries, averaged over the per-core structures. A hybrid
+/// model swap transfers the *full* hierarchy state (the incoming model keeps
+/// every resident line and translation); this summary is the cheap
+/// observable that reports and swap-policy diagnostics read.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WarmthSummary {
+    /// Mean valid-line fraction of the per-core L1 instruction caches.
+    pub l1i: f64,
+    /// Mean valid-line fraction of the per-core L1 data caches.
+    pub l1d: f64,
+    /// Valid-line fraction of the shared L2 (0 when the design has no L2).
+    pub l2: f64,
+    /// Mean valid-entry fraction of the instruction TLBs.
+    pub itlb: f64,
+    /// Mean valid-entry fraction of the data TLBs.
+    pub dtlb: f64,
+}
+
 /// The complete memory hierarchy shared by the cores of one simulated chip.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct MemoryHierarchy {
     config: MemoryConfig,
     l1i: Vec<Cache>,
@@ -129,6 +148,25 @@ impl MemoryHierarchy {
             dram_transactions: self.dram.accesses(),
             dram_queue_cycles: self.dram.total_queue_cycles(),
             dram_average_latency: self.dram.average_latency(),
+        }
+    }
+
+    /// Measures how warm each structure is (see [`WarmthSummary`]).
+    #[must_use]
+    pub fn warmth_summary(&self) -> WarmthSummary {
+        let mean = |xs: &[f64]| {
+            if xs.is_empty() {
+                0.0
+            } else {
+                xs.iter().sum::<f64>() / xs.len() as f64
+            }
+        };
+        WarmthSummary {
+            l1i: mean(&self.l1i.iter().map(Cache::warmth).collect::<Vec<_>>()),
+            l1d: mean(&self.l1d.iter().map(Cache::warmth).collect::<Vec<_>>()),
+            l2: self.l2.as_ref().map_or(0.0, Cache::warmth),
+            itlb: mean(&self.itlb.iter().map(Tlb::warmth).collect::<Vec<_>>()),
+            dtlb: mean(&self.dtlb.iter().map(Tlb::warmth).collect::<Vec<_>>()),
         }
     }
 

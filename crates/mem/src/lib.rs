@@ -29,6 +29,6 @@ pub mod tlb;
 pub use cache::{Cache, CacheConfig, LineState};
 pub use config::MemoryConfig;
 pub use dram::DramModel;
-pub use hierarchy::{AccessLevel, AccessResponse, MemoryHierarchy};
+pub use hierarchy::{AccessLevel, AccessResponse, MemoryHierarchy, WarmthSummary};
 pub use stats::{CoreMemoryStats, MemoryStats};
 pub use tlb::Tlb;

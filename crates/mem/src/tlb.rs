@@ -104,6 +104,18 @@ impl Tlb {
         vaddr / self.config.page_bytes
     }
 
+    /// Number of resident translations (warmth numerator).
+    #[must_use]
+    pub fn resident_entries(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Fraction of the TLB holding valid translations, in `0.0..=1.0`.
+    #[must_use]
+    pub fn warmth(&self) -> f64 {
+        self.pages.len() as f64 / self.config.entries.max(1) as f64
+    }
+
     /// Translates `vaddr`; returns the added latency (0 on a hit, the
     /// page-walk penalty on a miss) and installs the translation.
     pub fn access(&mut self, vaddr: u64) -> u64 {

@@ -7,7 +7,7 @@
 //! Criterion benchmarks and the full figure-regeneration binaries.
 //!
 //! All sweeps are expressed as declarative [`SimJob`] lists executed by the
-//! parallel [`run_batch`](crate::batch::run_batch) engine: the simulation
+//! parallel [`run_batch`] engine: the simulation
 //! points of a figure are mutually independent, results come back in job
 //! order, and every simulated quantity is deterministic in
 //! `(model, config, workload, seed)` — so the rows are identical whether
@@ -18,8 +18,9 @@ use serde::{Deserialize, Serialize};
 
 use crate::batch::{run_batch, SimJob};
 use crate::config::SystemConfig;
+use crate::hybrid::HybridSpec;
 use crate::metrics;
-use crate::runner::CoreModel;
+use crate::runner::{BaseModel, CoreModel};
 use crate::workload::WorkloadSpec;
 
 /// Instruction budget and seed for an experiment.
@@ -502,6 +503,110 @@ pub fn fig10(
     speedup_rows(benchmarks, core_counts, jobs)
 }
 
+/// One point of the hybrid speed-vs-accuracy frontier: a benchmark under one
+/// swap policy, against the pure-detailed reference.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HybridFrontierRow {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Stable policy label (`always-interval@2000`, `periodic-4@2000`, ...).
+    pub policy: String,
+    /// CPI measured by pure detailed simulation (the reference).
+    pub detailed_cpi: f64,
+    /// CPI estimated by the hybrid run.
+    pub hybrid_cpi: f64,
+    /// Host seconds of the pure detailed run.
+    pub detailed_seconds: f64,
+    /// Host seconds of the hybrid run.
+    pub hybrid_seconds: f64,
+    /// Model swaps the controller performed.
+    pub swaps: u64,
+}
+
+impl HybridFrontierRow {
+    /// Relative CPI error of the hybrid estimate against pure detailed.
+    #[must_use]
+    pub fn cpi_error(&self) -> f64 {
+        metrics::relative_error(self.hybrid_cpi, self.detailed_cpi)
+    }
+
+    /// Host-time speedup of the hybrid run over pure detailed.
+    #[must_use]
+    pub fn speedup(&self) -> f64 {
+        metrics::simulation_speedup(self.detailed_seconds, self.hybrid_seconds)
+    }
+}
+
+/// The default policy sweep of the hybrid frontier: pin-interval (the fast
+/// extreme), periodic detailed sampling, and phase-triggered swapping. The
+/// interval quantum is a tenth of the per-benchmark budget so every run
+/// crosses several swap decisions.
+#[must_use]
+pub fn default_hybrid_policies(scale: ExperimentScale) -> Vec<HybridSpec> {
+    let quantum = (scale.spec_length / 10).max(500);
+    vec![
+        HybridSpec::always(BaseModel::Interval, quantum),
+        HybridSpec::periodic(4, quantum),
+        HybridSpec::phase_cpi(200, quantum),
+    ]
+}
+
+/// The hybrid experiment: per benchmark, one pure-detailed reference run and
+/// one hybrid run per policy; each `(benchmark, policy)` pair yields one
+/// speed-vs-CPI-error frontier row.
+///
+/// Unlike the other drivers this one runs its jobs on a **single** batch
+/// worker regardless of `ISS_THREADS`: the frontier's speedup column
+/// compares the reference and hybrid wall-clocks, and concurrent jobs
+/// time-slicing against each other would contaminate exactly that
+/// measurement (same rationale as the `perf` bin's single-worker MIPS
+/// numbers). The simulated columns are `ISS_THREADS`-invariant either way.
+#[must_use]
+pub fn fig_hybrid(
+    benchmarks: &[&str],
+    policies: &[HybridSpec],
+    scale: ExperimentScale,
+) -> Vec<HybridFrontierRow> {
+    let config = SystemConfig::hpca2010_baseline(1);
+    let jobs: Vec<SimJob> =
+        benchmarks
+            .iter()
+            .flat_map(|b| {
+                let spec = WorkloadSpec::single(b, scale.spec_length);
+                std::iter::once(SimJob::new(
+                    CoreModel::Detailed,
+                    config,
+                    spec.clone(),
+                    scale.seed,
+                ))
+                .chain(policies.iter().map(move |p| {
+                    SimJob::new(CoreModel::Hybrid(*p), config, spec.clone(), scale.seed)
+                }))
+                .collect::<Vec<_>>()
+            })
+            .collect();
+    let out = crate::batch::run_batch_with_threads(&jobs, 1);
+    let stride = 1 + policies.len();
+    let mut rows = Vec::with_capacity(benchmarks.len() * policies.len());
+    for (bi, benchmark) in benchmarks.iter().enumerate() {
+        let detailed = &out[bi * stride];
+        let detailed_cpi = detailed.cycles as f64 / detailed.total_instructions.max(1) as f64;
+        for (pi, policy) in policies.iter().enumerate() {
+            let hybrid = &out[bi * stride + 1 + pi];
+            rows.push(HybridFrontierRow {
+                benchmark: (*benchmark).to_string(),
+                policy: policy.label(),
+                detailed_cpi,
+                hybrid_cpi: hybrid.cycles as f64 / hybrid.total_instructions.max(1) as f64,
+                detailed_seconds: detailed.host_seconds,
+                hybrid_seconds: hybrid.host_seconds,
+                swaps: hybrid.swaps,
+            });
+        }
+    }
+    rows
+}
+
 /// One row of the ablation study: how much accuracy each modeling ingredient
 /// of interval simulation contributes, relative to detailed simulation.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -658,6 +763,31 @@ mod tests {
         let rows = fig9(&["mcf"], &[1], tiny());
         assert_eq!(rows.len(), 1);
         assert!(rows[0].speedup > 0.0);
+    }
+
+    #[test]
+    fn fig_hybrid_produces_one_row_per_benchmark_policy_pair() {
+        let scale = tiny();
+        let policies = default_hybrid_policies(scale);
+        let rows = fig_hybrid(&["gcc"], &policies, scale);
+        assert_eq!(rows.len(), policies.len());
+        for row in &rows {
+            assert!(row.detailed_cpi > 0.0 && row.hybrid_cpi > 0.0);
+            assert!(
+                row.cpi_error() < 0.5,
+                "{} under {}: hybrid CPI {:.3} vs detailed {:.3}",
+                row.benchmark,
+                row.policy,
+                row.hybrid_cpi,
+                row.detailed_cpi
+            );
+        }
+        // The periodic policy actually swaps on a multi-interval budget.
+        let periodic = rows
+            .iter()
+            .find(|r| r.policy.starts_with("periodic"))
+            .unwrap();
+        assert!(periodic.swaps > 0, "periodic sampling must swap models");
     }
 
     #[test]

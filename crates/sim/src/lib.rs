@@ -27,12 +27,16 @@
 pub mod batch;
 pub mod config;
 pub mod experiments;
+pub mod hybrid;
 pub mod metrics;
+pub mod model;
 pub mod report;
 pub mod runner;
 pub mod workload;
 
 pub use batch::{run_batch, run_batch_with_threads, SimJob};
 pub use config::SystemConfig;
-pub use runner::{run, CoreModel, CoreSummary, SimSummary};
+pub use hybrid::{HybridSpec, SwapController, SwapPolicy};
+pub use model::{AnyMachine, CpuModel, ModelCheckpoint};
+pub use runner::{run, BaseModel, CoreModel, CoreSummary, SimSummary};
 pub use workload::WorkloadSpec;

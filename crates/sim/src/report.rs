@@ -5,7 +5,7 @@
 //! summary statistics (average and maximum error) the paper quotes in its
 //! text.
 
-use crate::experiments::{AccuracyRow, Fig6Row, Fig7Row, Fig8Row, SpeedupRow};
+use crate::experiments::{AccuracyRow, Fig6Row, Fig7Row, Fig8Row, HybridFrontierRow, SpeedupRow};
 use crate::metrics;
 
 /// Average and maximum relative error over a set of accuracy rows
@@ -133,6 +133,39 @@ pub fn format_speedup_table(rows: &[SpeedupRow]) -> String {
     out
 }
 
+/// Formats the hybrid speed-vs-CPI-error frontier. Each row is one
+/// `(benchmark, policy)` point: how much wall-clock the policy saves over
+/// pure detailed simulation and how much CPI accuracy it gives up.
+#[must_use]
+pub fn format_hybrid_table(rows: &[HybridFrontierRow]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<12} {:<24} {:>10} {:>10} {:>9} {:>6} {:>9}\n",
+        "benchmark", "policy", "det CPI", "hyb CPI", "CPI err", "swaps", "speedup"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:<12} {:<24} {:>10.3} {:>10.3} {:>8.1}% {:>6} {:>8.1}x\n",
+            r.benchmark,
+            r.policy,
+            r.detailed_cpi,
+            r.hybrid_cpi,
+            r.cpi_error() * 100.0,
+            r.swaps,
+            r.speedup()
+        ));
+    }
+    let errors: Vec<f64> = rows.iter().map(HybridFrontierRow::cpi_error).collect();
+    let speedups: Vec<f64> = rows.iter().map(HybridFrontierRow::speedup).collect();
+    out.push_str(&format!(
+        "average CPI error {:.1}%   max CPI error {:.1}%   average speedup {:.1}x\n",
+        metrics::mean(&errors) * 100.0,
+        metrics::max(&errors) * 100.0,
+        metrics::mean(&speedups)
+    ));
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -177,6 +210,22 @@ mod tests {
         }]);
         assert!(t.contains("9.0x"));
         assert!(t.contains("average speedup"));
+    }
+
+    #[test]
+    fn hybrid_table_reports_error_and_speedup() {
+        let t = format_hybrid_table(&[HybridFrontierRow {
+            benchmark: "mcf".to_string(),
+            policy: "periodic-4@2000".to_string(),
+            detailed_cpi: 2.0,
+            hybrid_cpi: 2.1,
+            detailed_seconds: 4.0,
+            hybrid_seconds: 1.0,
+            swaps: 9,
+        }]);
+        assert!(t.contains("periodic-4@2000"));
+        assert!(t.contains("5.0%"), "5% CPI error expected in: {t}");
+        assert!(t.contains("4.0x"), "4x speedup expected in: {t}");
     }
 
     #[test]

@@ -1,21 +1,25 @@
-//! Uniform runner over the three core models.
+//! Uniform runner over the timing models.
 //!
 //! [`run`] executes a [`WorkloadSpec`] on a [`SystemConfig`] under the chosen
 //! [`CoreModel`] and returns a model-independent [`SimSummary`], which is
-//! what the experiment drivers and metrics operate on.
+//! what the experiment drivers and metrics operate on. All models execute
+//! through the unified [`CpuModel`](crate::model::CpuModel) machinery — the
+//! three base models as one uninterrupted machine, hybrid specs through the
+//! [`hybrid`](crate::hybrid) swap controller.
 
 use serde::{Deserialize, Serialize};
 
-use iss_detailed::{DetailedSimulator, OneIpcSimulator};
-use iss_interval::IntervalSimulator;
 use iss_mem::MemoryStats;
 
 use crate::config::SystemConfig;
+use crate::hybrid::HybridSpec;
+use crate::model::{AnyMachine, CpuModel as _};
 use crate::workload::WorkloadSpec;
 
-/// Which timing model drives the cores.
+/// One of the three base timing models — the things a hybrid run swaps
+/// between, and the non-hybrid values of [`CoreModel`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
-pub enum CoreModel {
+pub enum BaseModel {
     /// The paper's contribution: the mechanistic analytical interval model.
     Interval,
     /// Detailed cycle-accurate out-of-order simulation (the baseline the
@@ -25,14 +29,72 @@ pub enum CoreModel {
     OneIpc,
 }
 
-impl CoreModel {
+impl BaseModel {
     /// Short name used in reports.
     #[must_use]
     pub fn name(self) -> &'static str {
         match self {
-            CoreModel::Interval => "interval",
-            CoreModel::Detailed => "detailed",
-            CoreModel::OneIpc => "one-ipc",
+            BaseModel::Interval => "interval",
+            BaseModel::Detailed => "detailed",
+            BaseModel::OneIpc => "one-ipc",
+        }
+    }
+
+    /// Dense index (for per-model tables).
+    #[must_use]
+    pub fn index(self) -> usize {
+        match self {
+            BaseModel::Interval => 0,
+            BaseModel::Detailed => 1,
+            BaseModel::OneIpc => 2,
+        }
+    }
+}
+
+/// Which timing model drives the cores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CoreModel {
+    /// The mechanistic analytical interval model.
+    Interval,
+    /// Detailed cycle-accurate out-of-order simulation.
+    Detailed,
+    /// The one-instruction-per-cycle simplification.
+    OneIpc,
+    /// Model swapping at interval boundaries under a
+    /// [`SwapPolicy`](crate::hybrid::SwapPolicy).
+    Hybrid(HybridSpec),
+}
+
+impl CoreModel {
+    /// Short name used in reports (policy-qualified for hybrid runs).
+    #[must_use]
+    pub fn name(self) -> String {
+        match self {
+            CoreModel::Interval => "interval".to_string(),
+            CoreModel::Detailed => "detailed".to_string(),
+            CoreModel::OneIpc => "one-ipc".to_string(),
+            CoreModel::Hybrid(spec) => format!("hybrid-{}", spec.label()),
+        }
+    }
+
+    /// The base model, for the three non-hybrid values.
+    #[must_use]
+    pub fn base(self) -> Option<BaseModel> {
+        match self {
+            CoreModel::Interval => Some(BaseModel::Interval),
+            CoreModel::Detailed => Some(BaseModel::Detailed),
+            CoreModel::OneIpc => Some(BaseModel::OneIpc),
+            CoreModel::Hybrid(_) => None,
+        }
+    }
+}
+
+impl From<BaseModel> for CoreModel {
+    fn from(kind: BaseModel) -> Self {
+        match kind {
+            BaseModel::Interval => CoreModel::Interval,
+            BaseModel::Detailed => CoreModel::Detailed,
+            BaseModel::OneIpc => CoreModel::OneIpc,
         }
     }
 }
@@ -77,6 +139,8 @@ pub struct SimSummary {
     pub host_seconds: f64,
     /// Shared memory-hierarchy statistics.
     pub memory: MemoryStats,
+    /// Model swaps performed (0 for non-hybrid runs).
+    pub swaps: u64,
 }
 
 impl SimSummary {
@@ -133,8 +197,23 @@ impl SimSummary {
             write!(s, ";core{}={},{}", c.core, c.instructions, c.cycles)
                 .expect("write to String cannot fail");
         }
+        write!(s, ";swaps={}", self.swaps).expect("write to String cannot fail");
         write!(s, ";memory={:?}", self.memory).expect("write to String cannot fail");
         s
+    }
+
+    /// [`SimSummary::canonical_record`] with the model tag blanked — what two
+    /// runs of *different* models must agree on when they simulate the same
+    /// execution (e.g. a hybrid run pinned to `always-interval` against a
+    /// plain interval run).
+    #[must_use]
+    pub fn canonical_record_modelless(&self) -> String {
+        let record = self.canonical_record();
+        let rest = record
+            .split_once(';')
+            .map_or("", |(_, rest)| rest)
+            .to_string();
+        format!("model=*;{rest}")
     }
 }
 
@@ -164,78 +243,12 @@ pub fn run(
     );
     let label = workload.label();
     match model {
-        CoreModel::Interval => {
-            let mut sim = IntervalSimulator::from_workload(
-                &config.interval_core,
-                &config.branch,
-                &config.memory,
-                built,
-            );
-            let r = sim.run();
-            SimSummary {
-                model,
-                workload: label,
-                cycles: r.cycles,
-                per_core: r
-                    .per_core
-                    .iter()
-                    .map(|c| CoreSummary {
-                        core: c.core,
-                        instructions: c.instructions,
-                        cycles: c.cycles,
-                    })
-                    .collect(),
-                total_instructions: r.total_instructions,
-                host_seconds: r.host_seconds,
-                memory: r.memory,
-            }
-        }
-        CoreModel::Detailed => {
-            let mut sim = DetailedSimulator::from_workload(
-                &config.detailed_core,
-                &config.branch,
-                &config.memory,
-                built,
-            );
-            let r = sim.run();
-            SimSummary {
-                model,
-                workload: label,
-                cycles: r.cycles,
-                per_core: r
-                    .per_core
-                    .iter()
-                    .map(|c| CoreSummary {
-                        core: c.core,
-                        instructions: c.instructions,
-                        cycles: c.cycles,
-                    })
-                    .collect(),
-                total_instructions: r.total_instructions,
-                host_seconds: r.host_seconds,
-                memory: r.memory,
-            }
-        }
-        CoreModel::OneIpc => {
-            let mut sim = OneIpcSimulator::from_workload(&config.memory, built);
-            let r = sim.run();
-            SimSummary {
-                model,
-                workload: label,
-                cycles: r.cycles,
-                per_core: r
-                    .per_core
-                    .iter()
-                    .map(|c| CoreSummary {
-                        core: c.core,
-                        instructions: c.instructions,
-                        cycles: c.cycles,
-                    })
-                    .collect(),
-                total_instructions: r.total_instructions,
-                host_seconds: r.host_seconds,
-                memory: r.memory,
-            }
+        CoreModel::Hybrid(spec) => crate::hybrid::run_hybrid(spec, config, built, label),
+        base => {
+            let kind = base.base().expect("non-hybrid model has a base kind");
+            let mut machine = AnyMachine::build(kind, config, built);
+            machine.run_to_completion();
+            machine.summary(model, label)
         }
     }
 }
@@ -271,6 +284,18 @@ mod tests {
         assert_eq!(CoreModel::Interval.name(), "interval");
         assert_eq!(CoreModel::Detailed.name(), "detailed");
         assert_eq!(CoreModel::OneIpc.name(), "one-ipc");
+        let spec = HybridSpec::periodic(4, 1_000);
+        assert_eq!(CoreModel::Hybrid(spec).name(), "hybrid-periodic-4@1000");
+    }
+
+    #[test]
+    fn modelless_record_blanks_only_the_model_tag() {
+        let config = SystemConfig::hpca2010_baseline(1);
+        let spec = WorkloadSpec::single("gzip", 2_000);
+        let s = run(CoreModel::Interval, &config, &spec, 7);
+        let blanked = s.canonical_record_modelless();
+        assert!(blanked.starts_with("model=*;workload=gzip;"));
+        assert!(blanked.contains(&format!("cycles={}", s.cycles)));
     }
 
     #[test]

@@ -37,6 +37,7 @@
 #![warn(missing_docs)]
 
 pub mod catalog;
+pub mod checkpoint;
 pub mod fxmap;
 pub mod inst;
 pub mod profile;
@@ -44,6 +45,7 @@ pub mod stream;
 pub mod sync;
 pub mod threaded;
 
+pub use checkpoint::{CheckpointStream, CoreResume};
 pub use fxmap::{FxHashMap, FxHashSet};
 pub use inst::{BranchClass, BranchInfo, DynInst, MemAccess, OpClass, RegId};
 pub use profile::{BranchBehavior, MemoryBehavior, MixWeights, SyncBehavior, WorkloadProfile};

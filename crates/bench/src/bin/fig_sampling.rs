@@ -1,0 +1,44 @@
+//! The sampled-simulation speed-vs-error-vs-confidence frontier: per
+//! benchmark and sampling spec, how much wall-clock sampling saves over pure
+//! detailed simulation, how much CPI accuracy it gives up, and how wide the
+//! reported 95% confidence interval is — with pure detailed and pure
+//! interval simulation as the two reference points.
+//!
+//! `--all-benchmarks` sweeps the full SPEC CPU2000 catalog instead of the
+//! quick subset; `ISS_EXPERIMENT_SCALE` controls the instruction budget.
+
+use iss_bench::{scale_from_env, SPEC_QUICK};
+use iss_sim::experiments::{default_sampling_specs, fig_sampling};
+use iss_sim::report::format_sampling_table;
+use iss_trace::catalog::SPEC_CPU2000;
+
+fn main() {
+    let all = std::env::args().any(|a| a == "--all-benchmarks");
+    let benchmarks: Vec<&str> = if all {
+        SPEC_CPU2000.to_vec()
+    } else {
+        SPEC_QUICK.to_vec()
+    };
+    let scale = scale_from_env();
+    let specs = default_sampling_specs(scale);
+    let rows = fig_sampling(&benchmarks, &specs, scale);
+    println!("Sampled simulation — speed vs CPI-error vs confidence frontier");
+    println!("(references: pure detailed and pure interval on the same workloads)\n");
+    print!("{}", format_sampling_table(&rows));
+    let best = rows
+        .iter()
+        .filter(|r| r.cpi_error() <= 0.05)
+        .max_by(|a, b| a.speedup().total_cmp(&b.speedup()));
+    match best {
+        Some(r) => println!(
+            "\nbest point within 5% CPI error: {} on {} — {:.1}x at {:.1}% error \
+             (95% CI half-width {:.3} CPI)",
+            r.spec_label,
+            r.benchmark,
+            r.speedup(),
+            r.cpi_error() * 100.0,
+            r.ci95_half_width
+        ),
+        None => println!("\nno point stayed within 5% CPI error at this scale"),
+    }
+}

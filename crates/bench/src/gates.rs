@@ -25,7 +25,8 @@
 use std::fmt::Write as _;
 
 use iss_sim::experiments::{
-    self, default_hybrid_policies, AccuracyRow, ExperimentScale, Fig4Variant, HybridFrontierRow,
+    self, default_hybrid_policies, default_sampling_specs, AccuracyRow, ExperimentScale,
+    Fig4Variant, HybridFrontierRow, SamplingFrontierRow,
 };
 
 /// One pinned accuracy number.
@@ -135,6 +136,12 @@ pub fn parse_golden_accuracy(text: &str) -> Result<GoldenAccuracy, String> {
             });
         }
     }
+    if rows.is_empty() {
+        return Err(
+            "golden file contains no rows — truncated or malformed; regenerate with `accuracy_gate --write`"
+                .to_string(),
+        );
+    }
     Ok(GoldenAccuracy {
         scale: scale.ok_or("missing scale")?,
         tolerance: tolerance.ok_or("missing tolerance")?,
@@ -148,6 +155,20 @@ pub fn parse_golden_accuracy(text: &str) -> Result<GoldenAccuracy, String> {
 #[must_use]
 pub fn diff_accuracy(golden: &GoldenAccuracy, current: &[GoldenRow]) -> Vec<String> {
     let mut violations = Vec::new();
+    // A gate that compares nothing proves nothing: an empty baseline (a
+    // truncated or hand-edited golden file) or an empty fresh run must be
+    // loud failures, never a green build.
+    if golden.rows.is_empty() {
+        violations.push(
+            "golden baseline is empty — the gate would pass vacuously; regenerate with `accuracy_gate --write`"
+                .to_string(),
+        );
+    }
+    if current.is_empty() {
+        violations.push(
+            "this build produced no accuracy rows — the gate would pass vacuously".to_string(),
+        );
+    }
     for g in &golden.rows {
         match current
             .iter()
@@ -208,6 +229,10 @@ pub fn compute_accuracy_rows(benchmarks: &[&str], scale: ExperimentScale) -> Vec
     for r in experiments::fig_hybrid(benchmarks, &policies, scale) {
         rows.push(hybrid_row(&r));
     }
+    let specs = default_sampling_specs(scale);
+    for r in experiments::fig_sampling(benchmarks, &specs, scale) {
+        rows.push(sampling_row(&r));
+    }
     rows
 }
 
@@ -222,6 +247,14 @@ fn accuracy_row(figure: &str, r: &AccuracyRow) -> GoldenRow {
 fn hybrid_row(r: &HybridFrontierRow) -> GoldenRow {
     GoldenRow {
         figure: format!("hybrid-{}", r.policy),
+        benchmark: r.benchmark.clone(),
+        error: r.cpi_error(),
+    }
+}
+
+fn sampling_row(r: &SamplingFrontierRow) -> GoldenRow {
+    GoldenRow {
+        figure: format!("sampling-{}", r.spec_label),
         benchmark: r.benchmark.clone(),
         error: r.cpi_error(),
     }
@@ -273,6 +306,19 @@ pub fn parse_perf_models(text: &str) -> Result<Vec<ModelMips>, String> {
 #[must_use]
 pub fn diff_perf(baseline: &[ModelMips], fresh: &[ModelMips], max_regression: f64) -> Vec<String> {
     let mut violations = Vec::new();
+    // Same vacuous-pass hardening as the accuracy gate: comparing against
+    // (or with) nothing is a failure, not a pass.
+    if baseline.is_empty() {
+        violations.push(
+            "perf baseline is empty — the gate would pass vacuously; regenerate it with the `perf` binary"
+                .to_string(),
+        );
+    }
+    if fresh.is_empty() {
+        violations.push(
+            "fresh perf run has no model entries — the gate would pass vacuously".to_string(),
+        );
+    }
     for b in baseline {
         match fresh.iter().find(|f| f.model == b.model) {
             None => violations.push(format!(
@@ -371,6 +417,48 @@ mod tests {
     }
 
     #[test]
+    fn truncated_golden_file_fails_to_parse() {
+        // A golden file cut off before its rows (e.g. a bad merge or a
+        // partial write) used to parse to zero rows and pass the gate
+        // vacuously; it must now be a parse error.
+        let g = golden();
+        let full = render_golden_accuracy(g.scale, g.tolerance, &g.rows);
+        let cut = full.split("\"rows\"").next().unwrap();
+        let err = parse_golden_accuracy(cut).unwrap_err();
+        assert!(err.contains("no rows"), "got: {err}");
+        // Keeping the `rows` header but dropping every entry is equally
+        // truncated.
+        let header_only = format!("{cut}\"rows\": [\n  ]\n}}\n");
+        let err = parse_golden_accuracy(&header_only).unwrap_err();
+        assert!(err.contains("no rows"), "got: {err}");
+    }
+
+    #[test]
+    fn empty_golden_baseline_fails_the_accuracy_gate() {
+        let empty = GoldenAccuracy {
+            scale: ExperimentScale::quick(),
+            tolerance: 0.02,
+            rows: Vec::new(),
+        };
+        let current = golden().rows;
+        let violations = diff_accuracy(&empty, &current);
+        assert!(
+            violations.iter().any(|v| v.contains("vacuously")),
+            "got: {violations:?}"
+        );
+    }
+
+    #[test]
+    fn empty_fresh_accuracy_rows_fail_the_gate() {
+        let g = golden();
+        let violations = diff_accuracy(&g, &[]);
+        // One vacuous-pass violation plus one not-produced violation per
+        // pinned row.
+        assert!(violations.len() > g.rows.len());
+        assert!(violations.iter().any(|v| v.contains("vacuously")));
+    }
+
+    #[test]
     fn perf_file_parses_model_mips() {
         let text = "{\n  \"schema\": \"iss-bench-perf/v1\",\n  \"models\": [\n    \
                     {\"model\": \"interval\", \"instructions\": 120000, \
@@ -425,6 +513,22 @@ mod tests {
             simulated_mips: 6.5, // ~19% down, within the 25% margin
         }];
         assert!(diff_perf(&baseline, &ok, 0.25).is_empty());
-        assert_eq!(diff_perf(&baseline, &[], 0.25).len(), 1);
+        // Empty fresh run: one vacuous-pass violation plus the missing
+        // model.
+        let violations = diff_perf(&baseline, &[], 0.25);
+        assert_eq!(violations.len(), 2);
+        assert!(violations.iter().any(|v| v.contains("vacuously")));
+        assert!(violations.iter().any(|v| v.contains("missing")));
+    }
+
+    #[test]
+    fn empty_perf_baseline_fails_the_gate() {
+        let fresh = vec![ModelMips {
+            model: "interval".into(),
+            simulated_mips: 5.0,
+        }];
+        let violations = diff_perf(&[], &fresh, 0.25);
+        assert_eq!(violations.len(), 1);
+        assert!(violations[0].contains("vacuously"), "got: {violations:?}");
     }
 }

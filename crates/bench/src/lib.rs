@@ -14,26 +14,65 @@ pub mod gates;
 
 use iss_sim::experiments::ExperimentScale;
 
-/// Reads the experiment scale from `ISS_EXPERIMENT_SCALE`.
+/// Parses an `ISS_EXPERIMENT_SCALE` value into an [`ExperimentScale`].
 ///
-/// Accepted values: `quick`, `full`, or an integer instruction count per
-/// SPEC benchmark (PARSEC workloads get twice that budget). Unknown values
-/// fall back to `quick`.
+/// `None` (variable unset) and the empty string select `quick`. Anything
+/// else must be `quick`, `full` (case-insensitive) or a positive integer
+/// instruction count per SPEC benchmark (PARSEC workloads get twice that
+/// budget, saturating instead of overflowing). Unknown strings, `0`,
+/// negative and overflowing numbers are **rejected** rather than silently
+/// falling back to `quick` — a typo like `ISS_EXPERIMENT_SCALE=ful` must
+/// not quietly turn a "full" accuracy run into a quick one (the same
+/// contract [`iss_sim::batch::parse_thread_count`] gives `ISS_THREADS`).
+///
+/// # Errors
+///
+/// Returns a message naming the offending value when it is neither a known
+/// keyword nor a positive integer.
+pub fn parse_scale(value: Option<&str>) -> Result<ExperimentScale, String> {
+    let Some(raw) = value else {
+        return Ok(ExperimentScale::quick());
+    };
+    let trimmed = raw.trim();
+    if trimmed.is_empty() {
+        return Ok(ExperimentScale::quick());
+    }
+    if trimmed.eq_ignore_ascii_case("quick") {
+        return Ok(ExperimentScale::quick());
+    }
+    if trimmed.eq_ignore_ascii_case("full") {
+        return Ok(ExperimentScale::full());
+    }
+    match trimmed.parse::<u64>() {
+        Ok(0) => Err(
+            "ISS_EXPERIMENT_SCALE must be `quick`, `full`, or a positive instruction \
+             count, got `0` (unset the variable to run at quick scale)"
+                .to_string(),
+        ),
+        Ok(n) => Ok(ExperimentScale {
+            spec_length: n,
+            parsec_length: n.saturating_mul(2),
+            seed: 42,
+        }),
+        Err(_) => Err(format!(
+            "ISS_EXPERIMENT_SCALE must be `quick`, `full`, or a positive instruction \
+             count, got `{trimmed}` (unset the variable to run at quick scale)"
+        )),
+    }
+}
+
+/// Reads the experiment scale from `ISS_EXPERIMENT_SCALE` (see
+/// [`parse_scale`] for the accepted values).
+///
+/// # Panics
+///
+/// Panics with a clear message when the variable is set to an unknown
+/// keyword, `0`, or a non-positive/overflowing number, instead of silently
+/// running at the wrong scale.
 #[must_use]
 pub fn scale_from_env() -> ExperimentScale {
-    match std::env::var("ISS_EXPERIMENT_SCALE") {
-        Ok(v) if v.eq_ignore_ascii_case("full") => ExperimentScale::full(),
-        Ok(v) if v.eq_ignore_ascii_case("quick") => ExperimentScale::quick(),
-        Ok(v) => match v.parse::<u64>() {
-            Ok(n) if n > 0 => ExperimentScale {
-                spec_length: n,
-                parsec_length: n * 2,
-                seed: 42,
-            },
-            _ => ExperimentScale::quick(),
-        },
-        Err(_) => ExperimentScale::quick(),
-    }
+    let value = std::env::var("ISS_EXPERIMENT_SCALE").ok();
+    parse_scale(value.as_deref()).unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// The subset of SPEC benchmarks used when a binary is asked for a quick run
@@ -56,6 +95,54 @@ mod tests {
         // only the default path is exercised.
         let s = scale_from_env();
         assert!(s.spec_length > 0 && s.parsec_length > 0);
+    }
+
+    #[test]
+    fn scale_parsing_accepts_keywords_numbers_and_unset() {
+        assert_eq!(parse_scale(None).unwrap(), ExperimentScale::quick());
+        assert_eq!(parse_scale(Some("")).unwrap(), ExperimentScale::quick());
+        assert_eq!(parse_scale(Some("  ")).unwrap(), ExperimentScale::quick());
+        assert_eq!(
+            parse_scale(Some("quick")).unwrap(),
+            ExperimentScale::quick()
+        );
+        assert_eq!(
+            parse_scale(Some("QUICK")).unwrap(),
+            ExperimentScale::quick()
+        );
+        assert_eq!(parse_scale(Some("full")).unwrap(), ExperimentScale::full());
+        assert_eq!(parse_scale(Some("Full")).unwrap(), ExperimentScale::full());
+        let custom = parse_scale(Some(" 50000 ")).unwrap();
+        assert_eq!(custom.spec_length, 50_000);
+        assert_eq!(custom.parsec_length, 100_000);
+        assert_eq!(custom.seed, 42);
+    }
+
+    #[test]
+    fn scale_parsing_saturates_the_parsec_budget() {
+        let huge = parse_scale(Some(&u64::MAX.to_string())).unwrap();
+        assert_eq!(huge.spec_length, u64::MAX);
+        assert_eq!(huge.parsec_length, u64::MAX, "must saturate, not overflow");
+    }
+
+    #[test]
+    fn scale_parsing_rejects_typos_zero_and_bad_numbers_loudly() {
+        // The motivating bug: `ful` used to silently select quick scale.
+        let typo = parse_scale(Some("ful")).unwrap_err();
+        assert!(typo.contains("`ful`"), "got: {typo}");
+        let zero = parse_scale(Some("0")).unwrap_err();
+        assert!(zero.contains("`0`"), "got: {zero}");
+        let negative = parse_scale(Some("-5")).unwrap_err();
+        assert!(negative.contains("`-5`"), "got: {negative}");
+        // Larger than u64::MAX: the integer parse fails, which must surface
+        // as an error, not a silent quick run.
+        let overflow = parse_scale(Some("99999999999999999999999")).unwrap_err();
+        assert!(
+            overflow.contains("99999999999999999999999"),
+            "got: {overflow}"
+        );
+        let junk = parse_scale(Some("fast")).unwrap_err();
+        assert!(junk.contains("`fast`"), "got: {junk}");
     }
 
     #[test]

@@ -16,6 +16,22 @@ use crate::old_window::OldWindow;
 use crate::stats::IntervalCoreStats;
 use crate::window::{DependenceTracker, Window};
 
+/// Transferable warm state of one core, extracted by *consuming* the core:
+/// nothing in here is cloned, which is what makes frequent timed→functional
+/// transitions in sampled simulation cheap.
+#[derive(Debug)]
+pub struct CoreWarmParts<S> {
+    /// The core's resume point (clock, retired instructions, done flag).
+    pub resume: iss_trace::CoreResume,
+    /// Instructions fetched into the window but not retired, oldest first.
+    pub pending: Vec<DynInst>,
+    /// The core's instruction stream, positioned after the pending
+    /// instructions.
+    pub stream: S,
+    /// The warm branch-prediction front-end.
+    pub branch: BranchUnit,
+}
+
 /// What happened when the core tried to dispatch the window-head instruction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum DispatchOutcome {
@@ -132,6 +148,28 @@ impl<S: InstructionStream> IntervalCore<S> {
     #[must_use]
     pub fn pending_insts(&self) -> Vec<DynInst> {
         self.window.iter().map(|e| e.inst).collect()
+    }
+
+    /// Consumes the core into its transferable warm state (see
+    /// [`CoreWarmParts`]); the pending instructions are the same list
+    /// [`IntervalCore::pending_insts`] reports.
+    #[must_use]
+    pub fn into_warm_parts(self) -> CoreWarmParts<S> {
+        let resume = iss_trace::CoreResume {
+            time: if self.done {
+                self.stats.cycles
+            } else {
+                self.core_sim_time
+            },
+            instructions: self.stats.instructions,
+            done: self.done,
+        };
+        CoreWarmParts {
+            resume,
+            pending: self.window.iter().map(|e| e.inst).collect(),
+            stream: self.stream,
+            branch: self.branch_unit,
+        }
     }
 
     /// Positions a freshly built core at a checkpoint's resume point: its

@@ -60,6 +60,23 @@ impl IntervalSimResult {
     }
 }
 
+/// Transferable warm state of a whole interval machine, extracted by
+/// *consuming* the simulator — the clone-free counterpart of a lean
+/// checkpoint, for callers that own the machine (the sampled-simulation
+/// controller deconstructs a timing model this way at every
+/// timed→functional transition).
+#[derive(Debug)]
+pub struct IntervalWarmParts<S> {
+    /// The machine clock (absolute simulated cycles).
+    pub machine_time: u64,
+    /// Per-core warm state, in core order.
+    pub cores: Vec<crate::core_model::CoreWarmParts<S>>,
+    /// The shared memory hierarchy, moved out intact.
+    pub memory: MemoryHierarchy,
+    /// The shared synchronization state, moved out intact.
+    pub sync: SyncController,
+}
+
 /// Multi-core interval simulator.
 #[derive(Debug, Clone)]
 pub struct IntervalSimulator<S> {
@@ -99,6 +116,43 @@ impl<S: InstructionStream> IntervalSimulator<S> {
             sync.num_threads(),
             "the synchronization controller must cover every core"
         );
+        Self::with_memory(
+            core_config,
+            branch_config,
+            streams,
+            sync,
+            MemoryHierarchy::new(mem_config),
+        )
+    }
+
+    /// Like [`IntervalSimulator::new`], but adopts an existing (typically
+    /// warm) memory hierarchy instead of building a cold one — the restore
+    /// path takes this so a checkpointed hierarchy is *moved* in rather
+    /// than a fresh multi-megabyte hierarchy being allocated and
+    /// immediately replaced.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stream, synchronization and hierarchy core counts
+    /// disagree or any configuration is invalid.
+    #[must_use]
+    pub fn with_memory(
+        core_config: &IntervalCoreConfig,
+        branch_config: &BranchPredictorConfig,
+        streams: Vec<S>,
+        sync: SyncController,
+        memory: MemoryHierarchy,
+    ) -> Self {
+        assert_eq!(
+            streams.len(),
+            memory.num_cores(),
+            "one instruction stream per core is required"
+        );
+        assert_eq!(
+            streams.len(),
+            sync.num_threads(),
+            "the synchronization controller must cover every core"
+        );
         let cores = streams
             .into_iter()
             .enumerate()
@@ -106,7 +160,7 @@ impl<S: InstructionStream> IntervalSimulator<S> {
             .collect();
         IntervalSimulator {
             cores,
-            mem: MemoryHierarchy::new(mem_config),
+            mem: memory,
             sync,
             multi_core_time: 0,
             host_seconds: 0.0,
@@ -229,18 +283,50 @@ impl<S: InstructionStream> IntervalSimulator<S> {
             self.cores.len(),
             "transferred hierarchy must cover every core"
         );
+        self.mem = mem;
+        self.resume_cores(machine_time, per_core, branch);
+    }
+
+    /// The core-resume half of [`IntervalSimulator::restore_warm`], for
+    /// simulators built over an already-transferred hierarchy
+    /// ([`IntervalSimulator::with_memory`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the transferred state does not cover every core.
+    pub fn resume_cores(
+        &mut self,
+        machine_time: u64,
+        per_core: &[iss_trace::CoreResume],
+        branch: Option<&[iss_branch::BranchUnit]>,
+    ) {
         assert_eq!(
             per_core.len(),
             self.cores.len(),
             "one resume point per core is required"
         );
-        self.mem = mem;
         self.multi_core_time = machine_time;
         for (i, core) in self.cores.iter_mut().enumerate() {
             core.resume_at(&per_core[i]);
             if let Some(units) = branch {
                 core.install_branch_unit(units[i].clone());
             }
+        }
+    }
+
+    /// Consumes the simulator into its transferable warm state without
+    /// cloning the memory hierarchy, the streams or the branch tables.
+    #[must_use]
+    pub fn into_warm_parts(self) -> IntervalWarmParts<S> {
+        IntervalWarmParts {
+            machine_time: self.multi_core_time,
+            cores: self
+                .cores
+                .into_iter()
+                .map(IntervalCore::into_warm_parts)
+                .collect(),
+            memory: self.mem,
+            sync: self.sync,
         }
     }
 

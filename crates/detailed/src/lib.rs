@@ -44,7 +44,9 @@ pub mod oo_core;
 pub mod stats;
 
 pub use config::DetailedCoreConfig;
-pub use multicore::{DetailedSimResult, DetailedSimulator, OneIpcSimulator};
+pub use multicore::{
+    CoreWarmParts, DetailedSimResult, DetailedSimulator, OneIpcSimulator, WarmParts,
+};
 pub use oneipc::OneIpcCore;
 pub use oo_core::OutOfOrderCore;
 pub use stats::{DetailedCoreResult, DetailedCoreStats};

@@ -10,7 +10,7 @@ use std::time::Instant;
 
 use serde::{Deserialize, Serialize};
 
-use iss_branch::{BranchPredictorConfig, BranchStats};
+use iss_branch::{BranchPredictorConfig, BranchStats, BranchUnit};
 use iss_mem::{MemoryConfig, MemoryHierarchy, MemoryStats};
 use iss_trace::{InstructionStream, SyncController, SyntheticStream, ThreadedWorkload};
 
@@ -59,6 +59,38 @@ impl DetailedSimResult {
     }
 }
 
+/// Transferable warm state of one core, extracted by *consuming* the core:
+/// nothing in here is cloned, which is what makes frequent timed→functional
+/// transitions in sampled simulation cheap.
+#[derive(Debug)]
+pub struct CoreWarmParts<S> {
+    /// The core's resume point (clock, retired instructions, done flag).
+    pub resume: iss_trace::CoreResume,
+    /// Instructions fetched but not yet committed, oldest first.
+    pub pending: Vec<iss_trace::DynInst>,
+    /// The core's instruction stream, positioned after the pending
+    /// instructions.
+    pub stream: S,
+    /// The warm branch-prediction front-end (`None` for the one-IPC model,
+    /// which predicts no branches).
+    pub branch: Option<BranchUnit>,
+}
+
+/// Transferable warm state of a whole machine, extracted by *consuming* the
+/// simulator — the clone-free counterpart of a lean checkpoint, for callers
+/// that own the machine.
+#[derive(Debug)]
+pub struct WarmParts<S> {
+    /// The machine clock (absolute simulated cycles).
+    pub machine_time: u64,
+    /// Per-core warm state, in core order.
+    pub cores: Vec<CoreWarmParts<S>>,
+    /// The shared memory hierarchy, moved out intact.
+    pub memory: MemoryHierarchy,
+    /// The shared synchronization state, moved out intact.
+    pub sync: SyncController,
+}
+
 /// Cycle-accurate multi-core simulator (the paper's baseline).
 #[derive(Debug, Clone)]
 pub struct DetailedSimulator<S> {
@@ -95,6 +127,43 @@ impl<S: InstructionStream> DetailedSimulator<S> {
             sync.num_threads(),
             "sync controller must cover every core"
         );
+        Self::with_memory(
+            core_config,
+            branch_config,
+            streams,
+            sync,
+            MemoryHierarchy::new(mem_config),
+        )
+    }
+
+    /// Like [`DetailedSimulator::new`], but adopts an existing (typically
+    /// warm) memory hierarchy instead of building a cold one — the restore
+    /// path takes this so a checkpointed hierarchy is *moved* in rather
+    /// than a fresh multi-megabyte hierarchy being allocated and
+    /// immediately replaced.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stream, synchronization and hierarchy core counts
+    /// disagree or any configuration is invalid.
+    #[must_use]
+    pub fn with_memory(
+        core_config: &DetailedCoreConfig,
+        branch_config: &BranchPredictorConfig,
+        streams: Vec<S>,
+        sync: SyncController,
+        memory: MemoryHierarchy,
+    ) -> Self {
+        assert_eq!(
+            streams.len(),
+            memory.num_cores(),
+            "one stream per core is required"
+        );
+        assert_eq!(
+            streams.len(),
+            sync.num_threads(),
+            "sync controller must cover every core"
+        );
         let cores = streams
             .into_iter()
             .enumerate()
@@ -102,7 +171,7 @@ impl<S: InstructionStream> DetailedSimulator<S> {
             .collect();
         DetailedSimulator {
             cores,
-            mem: MemoryHierarchy::new(mem_config),
+            mem: memory,
             sync,
             cycle: 0,
             host_seconds: 0.0,
@@ -203,18 +272,51 @@ impl<S: InstructionStream> DetailedSimulator<S> {
             self.cores.len(),
             "transferred hierarchy must cover every core"
         );
+        self.mem = mem;
+        self.resume_cores(machine_time, per_core, branch);
+    }
+
+    /// The core-resume half of [`DetailedSimulator::restore_warm`], for
+    /// simulators built over an already-transferred hierarchy
+    /// ([`DetailedSimulator::with_memory`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the transferred state does not cover every core.
+    pub fn resume_cores(
+        &mut self,
+        machine_time: u64,
+        per_core: &[iss_trace::CoreResume],
+        branch: Option<&[BranchUnit]>,
+    ) {
         assert_eq!(
             per_core.len(),
             self.cores.len(),
             "one resume point per core is required"
         );
-        self.mem = mem;
         self.cycle = machine_time;
         for (i, core) in self.cores.iter_mut().enumerate() {
             core.resume_at(&per_core[i]);
             if let Some(units) = branch {
                 core.install_branch_unit(units[i].clone());
             }
+        }
+    }
+
+    /// Consumes the simulator into its transferable warm state without
+    /// cloning the memory hierarchy, the streams or the branch tables.
+    #[must_use]
+    pub fn into_warm_parts(self) -> WarmParts<S> {
+        let now = self.cycle;
+        WarmParts {
+            machine_time: now,
+            cores: self
+                .cores
+                .into_iter()
+                .map(|c| c.into_warm_parts(now))
+                .collect(),
+            memory: self.mem,
+            sync: self.sync,
         }
     }
 
@@ -287,9 +389,21 @@ impl<S: InstructionStream> OneIpcSimulator<S> {
     /// Panics if the stream count does not match the configuration.
     #[must_use]
     pub fn new(mem_config: &MemoryConfig, streams: Vec<S>, sync: SyncController) -> Self {
+        Self::with_memory(streams, sync, MemoryHierarchy::new(mem_config))
+    }
+
+    /// Like [`OneIpcSimulator::new`], but adopts an existing (typically
+    /// warm) memory hierarchy instead of building a cold one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stream, synchronization and hierarchy core counts
+    /// disagree.
+    #[must_use]
+    pub fn with_memory(streams: Vec<S>, sync: SyncController, memory: MemoryHierarchy) -> Self {
         assert_eq!(
             streams.len(),
-            mem_config.num_cores,
+            memory.num_cores(),
             "one stream per core is required"
         );
         assert_eq!(
@@ -304,7 +418,7 @@ impl<S: InstructionStream> OneIpcSimulator<S> {
             .collect();
         OneIpcSimulator {
             cores,
-            mem: MemoryHierarchy::new(mem_config),
+            mem: memory,
             sync,
             cycle: 0,
             host_seconds: 0.0,
@@ -394,15 +508,42 @@ impl<S: InstructionStream> OneIpcSimulator<S> {
             self.cores.len(),
             "transferred hierarchy must cover every core"
         );
+        self.mem = mem;
+        self.resume_cores(machine_time, per_core);
+    }
+
+    /// The core-resume half of [`OneIpcSimulator::restore_warm`], for
+    /// simulators built over an already-transferred hierarchy
+    /// ([`OneIpcSimulator::with_memory`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the transferred state does not cover every core.
+    pub fn resume_cores(&mut self, machine_time: u64, per_core: &[iss_trace::CoreResume]) {
         assert_eq!(
             per_core.len(),
             self.cores.len(),
             "one resume point per core is required"
         );
-        self.mem = mem;
         self.cycle = machine_time;
         for (i, core) in self.cores.iter_mut().enumerate() {
             core.resume_at(&per_core[i]);
+        }
+    }
+
+    /// Consumes the simulator into its transferable warm state without
+    /// cloning the memory hierarchy or the streams.
+    #[must_use]
+    pub fn into_warm_parts(self) -> WarmParts<S> {
+        WarmParts {
+            machine_time: self.cycle,
+            cores: self
+                .cores
+                .into_iter()
+                .map(OneIpcCore::into_warm_parts)
+                .collect(),
+            memory: self.mem,
+            sync: self.sync,
         }
     }
 

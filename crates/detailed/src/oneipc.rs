@@ -133,6 +133,26 @@ impl<S: InstructionStream> OneIpcCore<S> {
         self.pending.iter().copied().collect()
     }
 
+    /// Consumes the core into its transferable warm state (the one-IPC
+    /// model predicts no branches, so no branch unit is carried).
+    #[must_use]
+    pub fn into_warm_parts(self) -> crate::multicore::CoreWarmParts<S> {
+        crate::multicore::CoreWarmParts {
+            resume: iss_trace::CoreResume {
+                time: if self.done {
+                    self.stats.cycles
+                } else {
+                    self.core_time
+                },
+                instructions: self.stats.instructions,
+                done: self.done,
+            },
+            pending: self.pending.into_iter().collect(),
+            stream: self.stream,
+            branch: None,
+        }
+    }
+
     /// Positions a freshly built core at a checkpoint's resume point: its
     /// clock, its retired-instruction base, and (for finished cores) the
     /// final state.

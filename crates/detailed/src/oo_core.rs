@@ -194,6 +194,30 @@ impl<S: InstructionStream> OutOfOrderCore<S> {
             .collect()
     }
 
+    /// Consumes the core into its transferable warm state. `now` is the
+    /// machine clock (the detailed model keeps no per-core clock for live
+    /// cores); the pending instructions are the same list
+    /// [`OutOfOrderCore::pending_insts`] reports. Nothing is cloned.
+    #[must_use]
+    pub fn into_warm_parts(self, now: u64) -> crate::multicore::CoreWarmParts<S> {
+        let pending: Vec<DynInst> = self
+            .rob
+            .iter()
+            .map(|e| e.inst)
+            .chain(self.fetch_queue.iter().map(|fe| fe.inst))
+            .collect();
+        crate::multicore::CoreWarmParts {
+            resume: iss_trace::CoreResume {
+                time: if self.done { self.stats.cycles } else { now },
+                instructions: self.stats.instructions,
+                done: self.done,
+            },
+            pending,
+            stream: self.stream,
+            branch: Some(self.branch_unit),
+        }
+    }
+
     /// Positions a freshly built core at a checkpoint's resume point. The
     /// core's fetch stage stays idle until the resume time is reached (the
     /// outgoing model may have run this core ahead of the machine clock), and

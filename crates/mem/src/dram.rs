@@ -108,6 +108,10 @@ pub struct DramModel {
     horizon: u64,
     accesses: u64,
     total_queue_cycles: u64,
+    /// Queueing cycles incurred by reads alone (the component of a
+    /// requester-visible latency that depends on channel contention, i.e.
+    /// on timing rather than on access addresses and order).
+    read_queue_cycles: u64,
     total_latency: u64,
 }
 
@@ -133,6 +137,7 @@ impl DramModel {
             horizon: 0,
             accesses: 0,
             total_queue_cycles: 0,
+            read_queue_cycles: 0,
             total_latency: 0,
         }
     }
@@ -171,6 +176,25 @@ impl DramModel {
         start
     }
 
+    /// Performs one line access without competing for the channel: the
+    /// requester is charged the contention-free latency and no busy
+    /// interval is reserved. Functional warming takes this path — its
+    /// compressed clock (one nominal cycle per instruction) would saturate
+    /// the reservation schedule with fictitious queueing, and any channel
+    /// backlog would have drained during the fast-forwarded gap anyway.
+    pub fn access_unqueued(&mut self) -> u64 {
+        let latency = self.config.access_latency + self.config.transfer_cycles();
+        self.accesses += 1;
+        self.total_latency += latency;
+        latency
+    }
+
+    /// [`DramModel::writeback`] without channel competition (see
+    /// [`DramModel::access_unqueued`]).
+    pub fn writeback_unqueued(&mut self) {
+        self.accesses += 1;
+    }
+
     /// Performs one line access starting at cycle `now`; returns the total
     /// latency observed by the requester (queueing + access + transfer).
     pub fn access(&mut self, now: u64) -> u64 {
@@ -180,6 +204,7 @@ impl DramModel {
         let latency = queue + self.config.access_latency + transfer;
         self.accesses += 1;
         self.total_queue_cycles += queue;
+        self.read_queue_cycles += queue;
         self.total_latency += latency;
         latency
     }
@@ -192,6 +217,13 @@ impl DramModel {
         self.accesses += 1;
         self.total_queue_cycles += queue;
         queue
+    }
+
+    /// Queueing cycles incurred by read accesses so far (see the field
+    /// docs).
+    #[must_use]
+    pub fn read_queue_cycles(&self) -> u64 {
+        self.read_queue_cycles
     }
 
     /// Number of channel transactions so far.

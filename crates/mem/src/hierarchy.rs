@@ -102,6 +102,10 @@ pub struct MemoryHierarchy {
     l2: Option<Cache>,
     dram: DramModel,
     stats: Vec<CoreMemoryStats>,
+    /// Functional-warming mode: cache/TLB state and counters update as
+    /// usual, but DRAM accesses do not compete for the channel (see
+    /// `DramModel::access_unqueued`). Off for every timing model.
+    warming: bool,
 }
 
 impl MemoryHierarchy {
@@ -125,6 +129,7 @@ impl MemoryHierarchy {
             l2: config.l2.as_ref().map(Cache::new),
             dram: DramModel::new(&config.dram),
             stats: vec![CoreMemoryStats::default(); n],
+            warming: false,
         }
     }
 
@@ -132,6 +137,15 @@ impl MemoryHierarchy {
     #[must_use]
     pub fn config(&self) -> &MemoryConfig {
         &self.config
+    }
+
+    /// Switches functional-warming mode on or off (see the field docs):
+    /// warming accesses keep every cache, TLB and counter current but skip
+    /// DRAM channel reservations. The sampled-simulation controller turns
+    /// this on while fast-forwarding and off before handing the hierarchy
+    /// back to a timing model.
+    pub fn set_warming(&mut self, warming: bool) {
+        self.warming = warming;
     }
 
     /// Number of cores sharing the hierarchy.
@@ -205,6 +219,18 @@ impl MemoryHierarchy {
     /// Performs an instruction fetch access for `core` at `pc` in cycle
     /// `now`; returns the extra latency and classification.
     pub fn access_instruction(&mut self, core: usize, pc: u64, now: u64) -> AccessResponse {
+        let queued_before = self.dram.read_queue_cycles();
+        let resp = self.access_instruction_inner(core, pc, now);
+        // The counter records *contention-free* latency: DRAM read queueing
+        // depends on the clock the access arrived on, and the sampled
+        // estimator compares this counter across execution modes with
+        // incomparable clocks (see `CoreMemoryStats::latency_cycles`).
+        let queued = self.dram.read_queue_cycles() - queued_before;
+        self.stats[core].latency_cycles += resp.latency.saturating_sub(queued);
+        resp
+    }
+
+    fn access_instruction_inner(&mut self, core: usize, pc: u64, now: u64) -> AccessResponse {
         let cfg = self.config;
         let mut latency = 0;
         let mut tlb_miss = false;
@@ -255,6 +281,21 @@ impl MemoryHierarchy {
     /// Performs a data access (load or store) for `core` at `vaddr` in cycle
     /// `now`; returns the extra latency and classification.
     pub fn access_data(
+        &mut self,
+        core: usize,
+        vaddr: u64,
+        is_store: bool,
+        now: u64,
+    ) -> AccessResponse {
+        let queued_before = self.dram.read_queue_cycles();
+        let resp = self.access_data_inner(core, vaddr, is_store, now);
+        // Contention-free latency only — see `access_instruction`.
+        let queued = self.dram.read_queue_cycles() - queued_before;
+        self.stats[core].latency_cycles += resp.latency.saturating_sub(queued);
+        resp
+    }
+
+    fn access_data_inner(
         &mut self,
         core: usize,
         vaddr: u64,
@@ -433,7 +474,11 @@ impl MemoryHierarchy {
                 } else {
                     self.stats[core].l2_misses += 1;
                     self.stats[core].dram_reads += 1;
-                    let dram_latency = self.dram.access(now);
+                    let dram_latency = if self.warming {
+                        self.dram.access_unqueued()
+                    } else {
+                        self.dram.access(now)
+                    };
                     // Fill the L2 (inclusive); its victim may need a
                     // write-back and back-invalidation of L1 copies.
                     let evicted = self
@@ -450,7 +495,12 @@ impl MemoryHierarchy {
             None => {
                 self.stats[core].l2_misses += 1;
                 self.stats[core].dram_reads += 1;
-                (self.dram.access(now), AccessLevel::Memory)
+                let dram_latency = if self.warming {
+                    self.dram.access_unqueued()
+                } else {
+                    self.dram.access(now)
+                };
+                (dram_latency, AccessLevel::Memory)
             }
         }
     }
@@ -470,7 +520,11 @@ impl MemoryHierarchy {
                 }
             }
             None => {
-                self.dram.writeback(now);
+                if self.warming {
+                    self.dram.writeback_unqueued();
+                } else {
+                    self.dram.writeback(now);
+                }
             }
         }
     }
@@ -491,7 +545,11 @@ impl MemoryHierarchy {
         }
         if state.is_dirty() || any_dirty_l1 {
             self.stats[core].writebacks += 1;
-            self.dram.writeback(now);
+            if self.warming {
+                self.dram.writeback_unqueued();
+            } else {
+                self.dram.writeback(now);
+            }
         }
     }
 }

@@ -29,6 +29,15 @@ pub struct CoreMemoryStats {
     pub dram_reads: u64,
     /// Dirty lines written back towards memory.
     pub writebacks: u64,
+    /// Total *contention-free* extra latency cycles the hierarchy handed
+    /// out for this core's accesses (instruction + data, beyond the
+    /// pipelined L1 hit; DRAM read queueing is excluded). This is the
+    /// per-unit memory-pressure signal sampled simulation regresses CPI
+    /// against: with queueing excluded it is driven purely by access
+    /// addresses and order, so functional warming (whose nominal clock
+    /// would fabricate queueing) and the timing models account it
+    /// identically.
+    pub latency_cycles: u64,
 }
 
 impl CoreMemoryStats {
@@ -58,6 +67,7 @@ impl CoreMemoryStats {
         self.upgrades += other.upgrades;
         self.dram_reads += other.dram_reads;
         self.writebacks += other.writebacks;
+        self.latency_cycles += other.latency_cycles;
     }
 }
 

@@ -21,6 +21,7 @@ use crate::config::SystemConfig;
 use crate::hybrid::HybridSpec;
 use crate::metrics;
 use crate::runner::{BaseModel, CoreModel};
+use crate::sampling::SamplingSpec;
 use crate::workload::WorkloadSpec;
 
 /// Instruction budget and seed for an experiment.
@@ -601,6 +602,167 @@ pub fn fig_hybrid(
                 detailed_seconds: detailed.host_seconds,
                 hybrid_seconds: hybrid.host_seconds,
                 swaps: hybrid.swaps,
+            });
+        }
+    }
+    rows
+}
+
+/// One point of the sampled-simulation frontier: a benchmark under one
+/// sampling spec, against the pure-detailed and pure-interval references.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SamplingFrontierRow {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Stable sampling-spec label (`sampled-detailed-1in10@500w100`, ...).
+    pub spec_label: String,
+    /// CPI measured by pure detailed simulation (the reference).
+    pub detailed_cpi: f64,
+    /// CPI estimated by pure interval simulation (the speed extreme the
+    /// paper contributes).
+    pub interval_cpi: f64,
+    /// CPI extrapolated by the sampled run.
+    pub sampled_cpi: f64,
+    /// Half-width of the sampled run's 95% confidence interval.
+    pub ci95_half_width: f64,
+    /// Units that contributed a CPI sample.
+    pub units_measured: u64,
+    /// Host seconds of the pure detailed run.
+    pub detailed_seconds: f64,
+    /// Host seconds of the pure interval run.
+    pub interval_seconds: f64,
+    /// Host seconds of the sampled run.
+    pub sampled_seconds: f64,
+}
+
+impl SamplingFrontierRow {
+    /// Relative CPI error of the sampled estimate against pure detailed.
+    #[must_use]
+    pub fn cpi_error(&self) -> f64 {
+        metrics::relative_error(self.sampled_cpi, self.detailed_cpi)
+    }
+
+    /// Relative CPI error of pure interval simulation against pure detailed
+    /// (the no-confidence-information alternative).
+    #[must_use]
+    pub fn interval_cpi_error(&self) -> f64 {
+        metrics::relative_error(self.interval_cpi, self.detailed_cpi)
+    }
+
+    /// Host-time speedup of the sampled run over pure detailed.
+    #[must_use]
+    pub fn speedup(&self) -> f64 {
+        metrics::simulation_speedup(self.detailed_seconds, self.sampled_seconds)
+    }
+
+    /// Host-time speedup of pure interval over pure detailed.
+    #[must_use]
+    pub fn interval_speedup(&self) -> f64 {
+        metrics::simulation_speedup(self.detailed_seconds, self.interval_seconds)
+    }
+
+    /// Whether the reported 95% interval brackets the pure-detailed CPI.
+    #[must_use]
+    pub fn ci_brackets_detailed(&self) -> bool {
+        (self.sampled_cpi - self.ci95_half_width) <= self.detailed_cpi
+            && self.detailed_cpi <= (self.sampled_cpi + self.ci95_half_width)
+    }
+}
+
+/// The default sampling sweep of the frontier: a sparse and a dense
+/// detailed-measurement config plus an interval-measurement config, all
+/// sized relative to the per-benchmark budget so every run crosses several
+/// measured units.
+#[must_use]
+pub fn default_sampling_specs(scale: ExperimentScale) -> Vec<SamplingSpec> {
+    // Tuned at the quick-scale sampling budget (100k instructions) and
+    // scaled proportionally beyond it. The three points span the frontier:
+    // a sparse detailed-measurement config (the ≥5×-at-≤5%-average
+    // acceptance point), a dense detailed-measurement config (the accuracy
+    // end, ~3% average error at ~3×), and an interval-measurement config
+    // (the speed extreme — interval-model systematic error on top, but
+    // ~9× with a confidence interval attached).
+    let m = (sampling_length(scale) / 100_000).max(1);
+    vec![
+        SamplingSpec::new(BaseModel::Detailed, 350 * m, 28, 60 * m, 6),
+        SamplingSpec::new(BaseModel::Detailed, 500 * m, 6, 100 * m, 4),
+        SamplingSpec::new(BaseModel::Interval, 500 * m, 12, 100 * m, 4),
+    ]
+}
+
+/// The per-benchmark instruction budget of the sampled-simulation figure:
+/// five times the SPEC budget of the scale. Sampling amortizes a
+/// run-length-independent cost (the cold-start transient it must measure
+/// exactly, plus per-sample warmups) over the run; at the plain quick
+/// budget that overhead alone is ~10% of the run and no sampling schedule
+/// can be both fast and tight. 5× the budget is the regime the technique
+/// is built for, while the pure reference models still finish in seconds
+/// at quick scale.
+#[must_use]
+pub fn sampling_length(scale: ExperimentScale) -> u64 {
+    scale.spec_length.saturating_mul(5)
+}
+
+/// The sampled-simulation experiment: per benchmark, one pure-detailed and
+/// one pure-interval reference run plus one sampled run per spec; each
+/// `(benchmark, spec)` pair yields one speed-vs-error-vs-confidence
+/// frontier row.
+///
+/// Like [`fig_hybrid`] this runs its jobs on a **single** batch worker
+/// regardless of `ISS_THREADS`, because the frontier compares wall-clocks;
+/// the simulated columns are `ISS_THREADS`-invariant either way.
+///
+/// # Panics
+///
+/// Panics if a sampled run comes back without its statistical estimate
+/// (impossible for summaries produced by `CoreModel::Sampled` jobs).
+#[must_use]
+pub fn fig_sampling(
+    benchmarks: &[&str],
+    specs: &[SamplingSpec],
+    scale: ExperimentScale,
+) -> Vec<SamplingFrontierRow> {
+    let config = SystemConfig::hpca2010_baseline(1);
+    let budget = sampling_length(scale);
+    let jobs: Vec<SimJob> = benchmarks
+        .iter()
+        .flat_map(|b| {
+            let spec = WorkloadSpec::single(b, budget);
+            [
+                SimJob::new(CoreModel::Detailed, config, spec.clone(), scale.seed),
+                SimJob::new(CoreModel::Interval, config, spec.clone(), scale.seed),
+            ]
+            .into_iter()
+            .chain(specs.iter().map(move |s| {
+                SimJob::new(CoreModel::Sampled(*s), config, spec.clone(), scale.seed)
+            }))
+            .collect::<Vec<_>>()
+        })
+        .collect();
+    let out = crate::batch::run_batch_with_threads(&jobs, 1);
+    let stride = 2 + specs.len();
+    let cpi_of =
+        |s: &crate::runner::SimSummary| s.cycles as f64 / s.total_instructions.max(1) as f64;
+    let mut rows = Vec::with_capacity(benchmarks.len() * specs.len());
+    for (bi, benchmark) in benchmarks.iter().enumerate() {
+        let detailed = &out[bi * stride];
+        let interval = &out[bi * stride + 1];
+        for (si, spec) in specs.iter().enumerate() {
+            let sampled = &out[bi * stride + 2 + si];
+            let est = sampled
+                .sampling
+                .expect("sampled summaries carry an estimate");
+            rows.push(SamplingFrontierRow {
+                benchmark: (*benchmark).to_string(),
+                spec_label: spec.label(),
+                detailed_cpi: cpi_of(detailed),
+                interval_cpi: cpi_of(interval),
+                sampled_cpi: est.cpi,
+                ci95_half_width: est.ci95_half_width,
+                units_measured: est.units_measured,
+                detailed_seconds: detailed.host_seconds,
+                interval_seconds: interval.host_seconds,
+                sampled_seconds: sampled.host_seconds,
             });
         }
     }

@@ -251,9 +251,10 @@ pub fn run_hybrid(
         let next = controller.decide(machine.kind(), signal);
         if next != machine.kind() {
             // A swap always crosses models, so the lean checkpoint (no exact
-            // same-model resume copy) suffices and keeps swaps cheap.
-            let ckpt = machine.checkpoint_lean();
-            machine = AnyMachine::restore(next, config, ckpt);
+            // same-model resume copy) suffices — and the loop owns the
+            // machine, so the checkpoint is extracted by consuming it: no
+            // hierarchy/stream/branch-table clones at all.
+            machine = AnyMachine::restore(next, config, machine.into_lean_checkpoint());
         }
     }
     let mut summary = machine.summary(CoreModel::Hybrid(spec), label);

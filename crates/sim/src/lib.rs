@@ -32,6 +32,7 @@ pub mod metrics;
 pub mod model;
 pub mod report;
 pub mod runner;
+pub mod sampling;
 pub mod workload;
 
 pub use batch::{run_batch, run_batch_with_threads, SimJob};
@@ -39,4 +40,5 @@ pub use config::SystemConfig;
 pub use hybrid::{HybridSpec, SwapController, SwapPolicy};
 pub use model::{AnyMachine, CpuModel, ModelCheckpoint};
 pub use runner::{run, BaseModel, CoreModel, CoreSummary, SimSummary};
+pub use sampling::{run_sampled, SamplingEstimate, SamplingSpec};
 pub use workload::WorkloadSpec;

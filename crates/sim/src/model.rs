@@ -61,6 +61,36 @@ pub struct ModelCheckpoint {
     exact: Option<Box<AnyMachine>>,
 }
 
+impl ModelCheckpoint {
+    /// Builds a transferable-state-only checkpoint from functional
+    /// components — the bridge the sampled-simulation controller takes from
+    /// a functionally fast-forwarded prefix into a timing model. `from` tags
+    /// the checkpoint for reporting only: with no exact machine copy, any
+    /// [`AnyMachine::restore`] of this checkpoint takes the warm-restore
+    /// path regardless of the tag.
+    #[must_use]
+    pub fn from_functional(
+        from: BaseModel,
+        machine_time: u64,
+        per_core: Vec<CoreResume>,
+        streams: Vec<CheckpointStream>,
+        branch: Option<Vec<BranchUnit>>,
+        memory: MemoryHierarchy,
+        sync: SyncController,
+    ) -> Self {
+        ModelCheckpoint {
+            from,
+            machine_time,
+            per_core,
+            streams,
+            branch,
+            memory,
+            sync,
+            exact: None,
+        }
+    }
+}
+
 /// The unified interface every timing model implements: step an interval,
 /// observe progress, and checkpoint the machine state.
 pub trait CpuModel {
@@ -357,6 +387,116 @@ impl AnyMachine {
         }
     }
 
+    /// Consumes the machine into a lean checkpoint **without cloning** the
+    /// memory hierarchy, the streams or the branch tables — the cheap
+    /// transition a caller that owns the machine takes (the sampled-run
+    /// controller at every timed→functional boundary, the hybrid swap loop
+    /// at every swap). Produces exactly the state [`CpuModel::checkpoint_lean`]
+    /// captures, minus the copies.
+    #[must_use]
+    pub fn into_lean_checkpoint(self) -> ModelCheckpoint {
+        fn assemble(
+            cores: impl IntoIterator<
+                Item = (
+                    CoreResume,
+                    Vec<iss_trace::DynInst>,
+                    CheckpointStream,
+                    Option<BranchUnit>,
+                ),
+            >,
+        ) -> (
+            Vec<CoreResume>,
+            Vec<CheckpointStream>,
+            Vec<Option<BranchUnit>>,
+        ) {
+            let mut per_core = Vec::new();
+            let mut streams = Vec::new();
+            let mut branch = Vec::new();
+            for (resume, pending, stream, unit) in cores {
+                per_core.push(resume);
+                streams.push(CheckpointStream::resuming_owned(pending, stream));
+                branch.push(unit);
+            }
+            (per_core, streams, branch)
+        }
+        let (from, machine_time, per_core, streams, branch, memory, sync) = match self {
+            AnyMachine::Interval(sim) => {
+                let parts = sim.into_warm_parts();
+                let (per_core, streams, branch) = assemble(
+                    parts
+                        .cores
+                        .into_iter()
+                        .map(|c| (c.resume, c.pending, c.stream, Some(c.branch))),
+                );
+                (
+                    BaseModel::Interval,
+                    parts.machine_time,
+                    per_core,
+                    streams,
+                    Some(
+                        branch
+                            .into_iter()
+                            .map(|b| b.expect("interval cores predict branches"))
+                            .collect(),
+                    ),
+                    parts.memory,
+                    parts.sync,
+                )
+            }
+            AnyMachine::Detailed(sim) => {
+                let parts = sim.into_warm_parts();
+                let (per_core, streams, branch) = assemble(
+                    parts
+                        .cores
+                        .into_iter()
+                        .map(|c| (c.resume, c.pending, c.stream, c.branch)),
+                );
+                (
+                    BaseModel::Detailed,
+                    parts.machine_time,
+                    per_core,
+                    streams,
+                    Some(
+                        branch
+                            .into_iter()
+                            .map(|b| b.expect("detailed cores predict branches"))
+                            .collect(),
+                    ),
+                    parts.memory,
+                    parts.sync,
+                )
+            }
+            AnyMachine::OneIpc(sim) => {
+                let parts = sim.into_warm_parts();
+                let (per_core, streams, _) = assemble(
+                    parts
+                        .cores
+                        .into_iter()
+                        .map(|c| (c.resume, c.pending, c.stream, c.branch)),
+                );
+                (
+                    BaseModel::OneIpc,
+                    parts.machine_time,
+                    per_core,
+                    streams,
+                    None,
+                    parts.memory,
+                    parts.sync,
+                )
+            }
+        };
+        ModelCheckpoint {
+            from,
+            machine_time,
+            per_core,
+            streams,
+            branch,
+            memory,
+            sync,
+            exact: None,
+        }
+    }
+
     /// Restores a machine of `kind` from a checkpoint. Same-model restores
     /// resume the exact captured state when the checkpoint carries it (a
     /// true identity); cross-model restores — and same-model restores from
@@ -369,22 +509,41 @@ impl AnyMachine {
                 return *exact;
             }
         }
-        let mut machine = Self::from_parts(kind, config, ckpt.streams, ckpt.sync);
+        // The checkpoint's warm hierarchy is *moved* into the incoming
+        // machine (`with_memory`); building the machine cold and swapping
+        // the hierarchy afterwards would allocate and immediately discard a
+        // multi-megabyte cache array per restore — real money when sampled
+        // simulation restores at every measured unit.
+        let mut machine = match kind {
+            BaseModel::Interval => AnyMachine::Interval(IntervalSimulator::with_memory(
+                &config.interval_core,
+                &config.branch,
+                ckpt.streams,
+                ckpt.sync,
+                ckpt.memory,
+            )),
+            BaseModel::Detailed => AnyMachine::Detailed(DetailedSimulator::with_memory(
+                &config.detailed_core,
+                &config.branch,
+                ckpt.streams,
+                ckpt.sync,
+                ckpt.memory,
+            )),
+            BaseModel::OneIpc => AnyMachine::OneIpc(OneIpcSimulator::with_memory(
+                ckpt.streams,
+                ckpt.sync,
+                ckpt.memory,
+            )),
+        };
         match &mut machine {
-            AnyMachine::Interval(sim) => sim.restore_warm(
-                ckpt.memory,
-                ckpt.machine_time,
-                &ckpt.per_core,
-                ckpt.branch.as_deref(),
-            ),
-            AnyMachine::Detailed(sim) => sim.restore_warm(
-                ckpt.memory,
-                ckpt.machine_time,
-                &ckpt.per_core,
-                ckpt.branch.as_deref(),
-            ),
+            AnyMachine::Interval(sim) => {
+                sim.resume_cores(ckpt.machine_time, &ckpt.per_core, ckpt.branch.as_deref());
+            }
+            AnyMachine::Detailed(sim) => {
+                sim.resume_cores(ckpt.machine_time, &ckpt.per_core, ckpt.branch.as_deref());
+            }
             AnyMachine::OneIpc(sim) => {
-                sim.restore_warm(ckpt.memory, ckpt.machine_time, &ckpt.per_core);
+                sim.resume_cores(ckpt.machine_time, &ckpt.per_core);
             }
         }
         machine
@@ -457,6 +616,7 @@ impl AnyMachine {
             host_seconds,
             memory,
             swaps: 0,
+            sampling: None,
         }
     }
 }

@@ -5,7 +5,9 @@
 //! summary statistics (average and maximum error) the paper quotes in its
 //! text.
 
-use crate::experiments::{AccuracyRow, Fig6Row, Fig7Row, Fig8Row, HybridFrontierRow, SpeedupRow};
+use crate::experiments::{
+    AccuracyRow, Fig6Row, Fig7Row, Fig8Row, HybridFrontierRow, SamplingFrontierRow, SpeedupRow,
+};
 use crate::metrics;
 
 /// Average and maximum relative error over a set of accuracy rows
@@ -166,6 +168,60 @@ pub fn format_hybrid_table(rows: &[HybridFrontierRow]) -> String {
     out
 }
 
+/// Formats the sampled-simulation speed-vs-error-vs-confidence frontier.
+/// Each row is one `(benchmark, sampling spec)` point: the extrapolated CPI
+/// with its 95% confidence half-width, the error against pure detailed, and
+/// the wall-clock speedup; the footer also quotes the pure-interval
+/// alternative for the same benchmarks.
+#[must_use]
+pub fn format_sampling_table(rows: &[SamplingFrontierRow]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<12} {:<30} {:>8} {:>8} {:>8} {:>8} {:>6} {:>9}\n",
+        "benchmark", "spec", "det CPI", "smp CPI", "±95%", "CPI err", "units", "speedup"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:<12} {:<30} {:>8.3} {:>8.3} {:>8.3} {:>7.1}% {:>6} {:>8.1}x\n",
+            r.benchmark,
+            r.spec_label,
+            r.detailed_cpi,
+            r.sampled_cpi,
+            r.ci95_half_width,
+            r.cpi_error() * 100.0,
+            r.units_measured,
+            r.speedup()
+        ));
+    }
+    let errors: Vec<f64> = rows.iter().map(SamplingFrontierRow::cpi_error).collect();
+    let speedups: Vec<f64> = rows.iter().map(SamplingFrontierRow::speedup).collect();
+    let bracketing = rows.iter().filter(|r| r.ci_brackets_detailed()).count();
+    let int_errors: Vec<f64> = rows
+        .iter()
+        .map(SamplingFrontierRow::interval_cpi_error)
+        .collect();
+    let int_speedups: Vec<f64> = rows
+        .iter()
+        .map(SamplingFrontierRow::interval_speedup)
+        .collect();
+    out.push_str(&format!(
+        "average CPI error {:.1}%   max CPI error {:.1}%   average speedup {:.1}x   \
+         CI brackets detailed in {}/{} rows\n",
+        metrics::mean(&errors) * 100.0,
+        metrics::max(&errors) * 100.0,
+        metrics::mean(&speedups),
+        bracketing,
+        rows.len()
+    ));
+    out.push_str(&format!(
+        "pure interval on the same benchmarks: average CPI error {:.1}%   \
+         average speedup {:.1}x (no confidence information)\n",
+        metrics::mean(&int_errors) * 100.0,
+        metrics::mean(&int_speedups)
+    ));
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -226,6 +282,27 @@ mod tests {
         assert!(t.contains("periodic-4@2000"));
         assert!(t.contains("5.0%"), "5% CPI error expected in: {t}");
         assert!(t.contains("4.0x"), "4x speedup expected in: {t}");
+    }
+
+    #[test]
+    fn sampling_table_reports_ci_error_and_speedup() {
+        let t = format_sampling_table(&[SamplingFrontierRow {
+            benchmark: "mcf".to_string(),
+            spec_label: "sampled-detailed-1in10@500w100".to_string(),
+            detailed_cpi: 2.0,
+            interval_cpi: 2.2,
+            sampled_cpi: 2.1,
+            ci95_half_width: 0.15,
+            units_measured: 4,
+            detailed_seconds: 10.0,
+            interval_seconds: 1.0,
+            sampled_seconds: 2.0,
+        }]);
+        assert!(t.contains("sampled-detailed-1in10@500w100"));
+        assert!(t.contains("5.0%"), "5% CPI error expected in: {t}");
+        assert!(t.contains("5.0x"), "5x speedup expected in: {t}");
+        assert!(t.contains("1/1 rows"), "CI brackets detailed in: {t}");
+        assert!(t.contains("pure interval"));
     }
 
     #[test]

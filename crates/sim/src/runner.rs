@@ -14,6 +14,7 @@ use iss_mem::MemoryStats;
 use crate::config::SystemConfig;
 use crate::hybrid::HybridSpec;
 use crate::model::{AnyMachine, CpuModel as _};
+use crate::sampling::{SamplingEstimate, SamplingSpec};
 use crate::workload::WorkloadSpec;
 
 /// One of the three base timing models — the things a hybrid run swaps
@@ -63,6 +64,10 @@ pub enum CoreModel {
     /// Model swapping at interval boundaries under a
     /// [`SwapPolicy`](crate::hybrid::SwapPolicy).
     Hybrid(HybridSpec),
+    /// Sampled simulation: functional fast-forward between measured units
+    /// executed on a [`SamplingSpec`]'s measurement model, with whole-run
+    /// CPI extrapolated under a 95% confidence interval.
+    Sampled(SamplingSpec),
 }
 
 impl CoreModel {
@@ -74,6 +79,7 @@ impl CoreModel {
             CoreModel::Detailed => "detailed".to_string(),
             CoreModel::OneIpc => "one-ipc".to_string(),
             CoreModel::Hybrid(spec) => format!("hybrid-{}", spec.label()),
+            CoreModel::Sampled(spec) => spec.label(),
         }
     }
 
@@ -84,7 +90,7 @@ impl CoreModel {
             CoreModel::Interval => Some(BaseModel::Interval),
             CoreModel::Detailed => Some(BaseModel::Detailed),
             CoreModel::OneIpc => Some(BaseModel::OneIpc),
-            CoreModel::Hybrid(_) => None,
+            CoreModel::Hybrid(_) | CoreModel::Sampled(_) => None,
         }
     }
 }
@@ -139,8 +145,12 @@ pub struct SimSummary {
     pub host_seconds: f64,
     /// Shared memory-hierarchy statistics.
     pub memory: MemoryStats,
-    /// Model swaps performed (0 for non-hybrid runs).
+    /// Model swaps performed (0 for non-hybrid runs; for sampled runs, the
+    /// number of functional-to-timed transitions).
     pub swaps: u64,
+    /// The statistical CPI estimate of a sampled run (`None` for every
+    /// other model — their cycle counts are measured, not extrapolated).
+    pub sampling: Option<SamplingEstimate>,
 }
 
 impl SimSummary {
@@ -198,6 +208,24 @@ impl SimSummary {
                 .expect("write to String cannot fail");
         }
         write!(s, ";swaps={}", self.swaps).expect("write to String cannot fail");
+        if let Some(est) = &self.sampling {
+            // f64 Display prints the shortest round-trip representation, so
+            // equal records imply bit-equal estimates.
+            write!(
+                s,
+                ";sampling=units{}/{},prefix{},insts{},cpi{},steady{},slope{},sd{},ci{}",
+                est.units_measured,
+                est.units_total,
+                est.prefix_instructions,
+                est.measured_instructions,
+                est.cpi,
+                est.steady_cpi,
+                est.aux_slope,
+                est.cpi_stddev,
+                est.ci95_half_width
+            )
+            .expect("write to String cannot fail");
+        }
         write!(s, ";memory={:?}", self.memory).expect("write to String cannot fail");
         s
     }
@@ -244,6 +272,7 @@ pub fn run(
     let label = workload.label();
     match model {
         CoreModel::Hybrid(spec) => crate::hybrid::run_hybrid(spec, config, built, label),
+        CoreModel::Sampled(spec) => crate::sampling::run_sampled(spec, config, built, label),
         base => {
             let kind = base.base().expect("non-hybrid model has a base kind");
             let mut machine = AnyMachine::build(kind, config, built);

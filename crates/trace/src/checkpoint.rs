@@ -65,6 +65,18 @@ impl CheckpointStream {
         }
     }
 
+    /// Owned variant of [`CheckpointStream::resuming`]: prepends `unretired`
+    /// to a stream the caller already owns, without cloning the generator.
+    /// This is the clone-free path a sampled run takes when it deconstructs
+    /// a timing model it owns at a functional-unit boundary.
+    #[must_use]
+    pub fn resuming_owned(unretired: Vec<DynInst>, mut current: CheckpointStream) -> Self {
+        for inst in unretired.into_iter().rev() {
+            current.replay.push_front(inst);
+        }
+        current
+    }
+
     /// Number of instructions queued for replay before the generator
     /// continues.
     #[must_use]
@@ -130,6 +142,20 @@ mod tests {
         let tail = collect(&mut resumed);
         assert_eq!(tail.len(), 940);
         assert_eq!(&reference[60..], &tail[..]);
+    }
+
+    #[test]
+    fn resuming_owned_matches_the_cloning_path() {
+        let p = catalog::profile("gcc").unwrap();
+        let mut s = CheckpointStream::fresh(SyntheticStream::new(&p, 0, 9, 800));
+        let mut consumed = Vec::new();
+        for _ in 0..120 {
+            consumed.push(s.next_inst().unwrap());
+        }
+        let unretired = consumed[90..].to_vec();
+        let cloned = CheckpointStream::resuming(unretired.clone(), &s);
+        let owned = CheckpointStream::resuming_owned(unretired, s);
+        assert_eq!(collect(&mut { cloned }), collect(&mut { owned }));
     }
 
     #[test]

@@ -1,0 +1,276 @@
+//! Functional fast-forward of instruction streams (no timing).
+//!
+//! Sampled simulation spends most of its instructions *between* measured
+//! units: the streams must advance (so the measured units see the right part
+//! of the execution) and the long-lived microarchitectural state — branch
+//! tables and the cache hierarchy — must stay warm, but no cycles need to be
+//! accounted. [`fast_forward`] is that path: it drains instructions from the
+//! per-core [`CheckpointStream`]s as fast as they can be generated, hands
+//! every instruction to an observer callback (the sampling controller warms
+//! branch predictors and the memory hierarchy there), and keeps the shared
+//! [`SyncController`] consistent so barriers, locks and joins hold across
+//! functional and timed execution alike.
+//!
+//! Everything here is driven by simulated state only — stream contents and
+//! synchronization outcomes — so a fast-forwarded prefix is exactly as
+//! deterministic as a timed one.
+
+use crate::checkpoint::{CheckpointStream, CoreResume};
+use crate::inst::DynInst;
+use crate::stream::InstructionStream;
+use crate::sync::{SyncController, SyncOp};
+use crate::ThreadId;
+
+/// Instructions a core consumes before the round-robin scheduler moves on to
+/// the next core. Small enough that co-running cores interleave their shared
+/// cache accesses at a realistic grain, large enough that scheduling cost
+/// disappears next to stream generation.
+const ROUND_ROBIN_CHUNK: u64 = 256;
+
+/// Advances every core's stream functionally by (up to) `budget` instructions
+/// chip-wide, honoring synchronization.
+///
+/// Cores are advanced round-robin in deterministic order, each receiving an
+/// equal share of the budget. A core stops early when it finishes its stream
+/// or blocks on a synchronization condition; blocked cores are revisited as
+/// long as any core still makes progress, so a barrier arrival by a later
+/// core wakes an earlier one within the same call. When the remaining cores
+/// are all blocked, finished, or out of budget, the call returns — the next
+/// unit (functional or timed) picks up from a consistent state.
+///
+/// Every consumed instruction is passed to `observe` (with its core index)
+/// before its synchronization side effects are applied, and is counted into
+/// `per_core[core].instructions`. Cores that exhaust their stream are marked
+/// done in `per_core` and finished in `sync`.
+///
+/// Returns the number of instructions consumed chip-wide.
+///
+/// # Panics
+///
+/// Panics if `streams` and `per_core` disagree on the number of cores.
+pub fn fast_forward(
+    streams: &mut [CheckpointStream],
+    sync: &mut SyncController,
+    per_core: &mut [CoreResume],
+    budget: u64,
+    observe: &mut dyn FnMut(ThreadId, &DynInst),
+) -> u64 {
+    assert_eq!(
+        streams.len(),
+        per_core.len(),
+        "one resume entry per core stream is required"
+    );
+    let num_cores = streams.len();
+    let live = per_core.iter().filter(|c| !c.done).count() as u64;
+    if live == 0 || budget == 0 {
+        return 0;
+    }
+    // Equal shares, remainder to the lowest-numbered live cores.
+    let mut share: Vec<u64> = vec![0; num_cores];
+    let (base, mut extra) = (budget / live, budget % live);
+    for (core, resume) in per_core.iter().enumerate() {
+        if !resume.done {
+            share[core] = base + u64::from(extra > 0);
+            extra = extra.saturating_sub(1);
+        }
+    }
+
+    let mut consumed = 0u64;
+    loop {
+        let mut progressed = false;
+        for core in 0..num_cores {
+            let mut turn = ROUND_ROBIN_CHUNK.min(share[core]);
+            while turn > 0 && !per_core[core].done && !sync.is_blocked(core) {
+                let Some(inst) = streams[core].next_inst() else {
+                    per_core[core].done = true;
+                    sync.mark_finished(core);
+                    break;
+                };
+                observe(core, &inst);
+                if let Some(op) = inst.sync {
+                    match op {
+                        SyncOp::BarrierArrive { id } => {
+                            sync.arrive_barrier(core, id);
+                        }
+                        SyncOp::LockAcquire { id } => {
+                            let _ = sync.try_acquire(core, id);
+                        }
+                        SyncOp::LockRelease { id } => sync.release(core, id),
+                        SyncOp::ThreadSpawn => {}
+                        SyncOp::ThreadJoin { child } => {
+                            let _ = sync.join(core, child);
+                        }
+                    }
+                }
+                per_core[core].instructions += 1;
+                share[core] -= 1;
+                turn -= 1;
+                consumed += 1;
+                progressed = true;
+            }
+        }
+        if !progressed {
+            break;
+        }
+    }
+    consumed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog;
+    use crate::stream::SyntheticStream;
+    use crate::threaded::ThreadedWorkload;
+
+    fn fresh_parts(w: ThreadedWorkload) -> (Vec<CheckpointStream>, SyncController) {
+        let (streams, sync) = w.into_parts();
+        (
+            streams.into_iter().map(CheckpointStream::fresh).collect(),
+            sync,
+        )
+    }
+
+    fn resume_zeroes(n: usize) -> Vec<CoreResume> {
+        vec![
+            CoreResume {
+                time: 0,
+                instructions: 0,
+                done: false,
+            };
+            n
+        ]
+    }
+
+    #[test]
+    fn fast_forward_consumes_exactly_the_budget_single_core() {
+        let p = catalog::profile("gcc").unwrap();
+        let (mut streams, mut sync) = fresh_parts(ThreadedWorkload::single(&p, 7, 10_000));
+        let mut per_core = resume_zeroes(1);
+        let mut seen = 0u64;
+        let consumed = fast_forward(
+            &mut streams,
+            &mut sync,
+            &mut per_core,
+            3_000,
+            &mut |_, _| {
+                seen += 1;
+            },
+        );
+        assert_eq!(consumed, 3_000);
+        assert_eq!(seen, 3_000);
+        assert_eq!(per_core[0].instructions, 3_000);
+        assert!(!per_core[0].done);
+    }
+
+    #[test]
+    fn fast_forward_marks_exhausted_streams_done() {
+        let p = catalog::profile("gzip").unwrap();
+        let (mut streams, mut sync) = fresh_parts(ThreadedWorkload::single(&p, 7, 500));
+        let mut per_core = resume_zeroes(1);
+        let consumed = fast_forward(
+            &mut streams,
+            &mut sync,
+            &mut per_core,
+            2_000,
+            &mut |_, _| {},
+        );
+        assert_eq!(consumed, 500);
+        assert!(per_core[0].done);
+        assert!(sync.is_finished(0));
+        assert!(sync.all_finished());
+    }
+
+    #[test]
+    fn fast_forward_position_matches_a_plain_stream() {
+        // After fast-forwarding N instructions, the stream must continue with
+        // exactly the instruction a plain stream yields at position N.
+        let p = catalog::profile("mcf").unwrap();
+        let mut reference = SyntheticStream::new(&p, 0, 3, 2_000);
+        let mut expected = Vec::new();
+        while let Some(i) = reference.next_inst() {
+            expected.push(i);
+        }
+        let (mut streams, mut sync) = fresh_parts(ThreadedWorkload::single(&p, 3, 2_000));
+        let mut per_core = resume_zeroes(1);
+        let mut observed = Vec::new();
+        fast_forward(&mut streams, &mut sync, &mut per_core, 700, &mut |_, i| {
+            observed.push(*i);
+        });
+        assert_eq!(&observed[..], &expected[..700]);
+        assert_eq!(streams[0].next_inst(), Some(expected[700]));
+    }
+
+    #[test]
+    fn fast_forward_respects_barriers_across_cores() {
+        let p = catalog::parsec_profile("fluidanimate").unwrap();
+        // Budget sized so every thread crosses fluidanimate's 25k-instruction
+        // barrier period (with imbalance scaling) at least once.
+        let (mut streams, mut sync) =
+            fresh_parts(ThreadedWorkload::multithreaded(&p, 4, 11, 200_000));
+        let mut per_core = resume_zeroes(4);
+        let consumed = fast_forward(
+            &mut streams,
+            &mut sync,
+            &mut per_core,
+            160_000,
+            &mut |_, _| {},
+        );
+        assert!(consumed > 0);
+        // Barrier bookkeeping stayed consistent: some barriers completed, and
+        // no thread is simultaneously running and blocked.
+        assert!(sync.barriers_completed() > 0, "barriers must release");
+        for (c, resume) in per_core.iter().enumerate() {
+            if resume.done {
+                assert!(sync.is_finished(c));
+            }
+            // Every core advanced: the barrier schedule forces rough
+            // lock-step.
+            assert!(
+                resume.instructions > 0,
+                "core {c} must make progress under barriers"
+            );
+        }
+    }
+
+    #[test]
+    fn fast_forward_is_deterministic() {
+        let p = catalog::parsec_profile("canneal").unwrap();
+        let run = || {
+            let (mut streams, mut sync) =
+                fresh_parts(ThreadedWorkload::multithreaded(&p, 2, 5, 20_000));
+            let mut per_core = resume_zeroes(2);
+            let mut trace = Vec::new();
+            fast_forward(
+                &mut streams,
+                &mut sync,
+                &mut per_core,
+                9_000,
+                &mut |c, i| {
+                    trace.push((c, i.seq, i.pc));
+                },
+            );
+            (trace, per_core)
+        };
+        let (ta, pa) = run();
+        let (tb, pb) = run();
+        assert_eq!(ta, tb);
+        assert_eq!(pa, pb);
+    }
+
+    #[test]
+    fn zero_budget_and_all_done_are_no_ops() {
+        let p = catalog::profile("gcc").unwrap();
+        let (mut streams, mut sync) = fresh_parts(ThreadedWorkload::single(&p, 1, 100));
+        let mut per_core = resume_zeroes(1);
+        assert_eq!(
+            fast_forward(&mut streams, &mut sync, &mut per_core, 0, &mut |_, _| {}),
+            0
+        );
+        per_core[0].done = true;
+        assert_eq!(
+            fast_forward(&mut streams, &mut sync, &mut per_core, 50, &mut |_, _| {}),
+            0
+        );
+    }
+}

@@ -38,6 +38,7 @@
 
 pub mod catalog;
 pub mod checkpoint;
+pub mod fastfwd;
 pub mod fxmap;
 pub mod inst;
 pub mod profile;
@@ -46,6 +47,7 @@ pub mod sync;
 pub mod threaded;
 
 pub use checkpoint::{CheckpointStream, CoreResume};
+pub use fastfwd::fast_forward;
 pub use fxmap::{FxHashMap, FxHashSet};
 pub use inst::{BranchClass, BranchInfo, DynInst, MemAccess, OpClass, RegId};
 pub use profile::{BranchBehavior, MemoryBehavior, MixWeights, SyncBehavior, WorkloadProfile};

@@ -84,6 +84,13 @@ struct ProgramLayout {
 
 const INST_BYTES: u64 = 4;
 const CODE_BASE: u64 = 0x0040_0000;
+/// Open-interval bounds for the geometric dependence-distance success
+/// probability. `geo_p` outside (0, 1) makes `ln(1 - geo_p)` meaningless
+/// (±∞/NaN), so profile-derived values are clamped here at stream
+/// construction; both bounds are far outside anything a realistic profile
+/// produces (catalog means are 3.0–7.0, i.e. `geo_p` ≈ 0.14–0.33).
+const GEO_P_MIN: f64 = 1e-6;
+const GEO_P_MAX: f64 = 1.0 - 1e-6;
 /// Per-thread private data regions are spaced far apart so that different
 /// threads never alias in the caches (other than through the shared region).
 const THREAD_DATA_STRIDE: u64 = 1 << 40;
@@ -270,9 +277,15 @@ impl SyntheticStream {
         };
 
         let current_block = 0;
-        let geo_p = 1.0 / profile.dep_distance_mean.max(1.0);
+        // The geometric success probability must stay inside the open
+        // interval (0, 1): a `dep_distance_mean` of exactly 1.0 (or any
+        // degenerate value `max(1.0)` maps there) would make `geo_p` = 1.0
+        // and `ln(1 - geo_p)` blow up to `ln(0)` — the old `.max(1e-9)`
+        // rescue produced a denominator of ≈ -20.7 that collapsed *every*
+        // dependence distance to 1 instead of mostly-1-sometimes-more.
+        let geo_p = (1.0 / profile.dep_distance_mean.max(1.0)).clamp(GEO_P_MIN, GEO_P_MAX);
         SyntheticStream {
-            geo_ln_denom: (1.0 - geo_p).max(1e-9).ln(),
+            geo_ln_denom: (1.0 - geo_p).ln(),
             profile: profile.clone(),
             thread,
             rng,

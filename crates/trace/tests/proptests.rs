@@ -172,3 +172,99 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The dependence-distance sampler survives the whole profile parameter
+    /// space. `geo_p` is derived from `dep_distance_mean` and must be clamped
+    /// into the open interval (0, 1): degenerate means (≤ 1.0, NaN, or huge)
+    /// used to drive `ln(1 - geo_p)` to the `ln(1e-9)` rescue value, which
+    /// collapsed every sampled dependence distance to 1. Whatever the profile
+    /// says, the stream must produce the full requested length with sources
+    /// drawn from the architectural register file.
+    #[test]
+    fn dependence_sampling_survives_the_full_profile_space(
+        bench in any_benchmark(),
+        // The vendored proptest has integer strategies only; floats are
+        // derived from integer draws. `mean_kind` spans NaN, negative, the
+        // degenerate (0, 1.5) band that clamps at the GEO_P_MAX end, the
+        // realistic catalog territory, and the huge GEO_P_MIN extreme.
+        mean_kind in 0usize..5,
+        mean_raw in 0u64..1_000_000,
+        load_pm in 50u64..600,
+        branch_pm in 20u64..500,
+        chase_pm in 0u64..1_000,
+        bias_pm in 0u64..1_000,
+        seed in 0u64..100_000,
+    ) {
+        let unit = mean_raw as f64 / 1e6;
+        let mean = match mean_kind {
+            0 => f64::NAN,
+            1 => -3.0 * unit,
+            2 => 1.5 * unit,
+            3 => 1.5 + 62.5 * unit,
+            _ => 64.0 + (1e9 - 64.0) * unit,
+        };
+        let (load, branch) = (load_pm as f64 / 1e3, branch_pm as f64 / 1e3);
+        let (chase, bias) = (chase_pm as f64 / 1e3, bias_pm as f64 / 1e3);
+        let mut p = catalog::profile(bench).unwrap();
+        p.dep_distance_mean = mean;
+        p.mix.load = load;
+        p.mix.branch = branch;
+        p.memory.pointer_chase = chase;
+        p.branches.bias = bias;
+        let mut s = SyntheticStream::new(&p, 0, seed, 2_000);
+        let mut n = 0u64;
+        while let Some(i) = s.next_inst() {
+            for src in i.srcs.into_iter().flatten() {
+                prop_assert!(src < iss_trace::NUM_ARCH_REGS);
+            }
+            n += 1;
+        }
+        prop_assert_eq!(n, 2_000);
+    }
+
+    /// With a realistic dependence-distance mean, sources must regularly
+    /// reach *past* the most recent destination (a geometric distribution
+    /// with mean m picks distance 1 only ~1/m of the time). This is the
+    /// observable that the collapsed-denominator bug destroyed.
+    #[test]
+    fn realistic_means_spread_dependence_distances(
+        bench in any_benchmark(),
+        mean_pm in 6_000u64..32_000,
+        seed in 0u64..100_000,
+    ) {
+        let mean = mean_pm as f64 / 1e3;
+        let mut p = catalog::profile(bench).unwrap();
+        p.dep_distance_mean = mean;
+        let mut s = SyntheticStream::new(&p, 0, seed, 6_000);
+        let mut last_dst = None;
+        let mut picks = 0u64;
+        let mut newest_hits = 0u64;
+        let mut i = 0u64;
+        while let Some(inst) = s.next_inst() {
+            // Ignore the warm-up prefix while the destination pool fills.
+            if i > 1_000 {
+                if let Some(src) = inst.srcs[0] {
+                    picks += 1;
+                    if Some(src) == last_dst {
+                        newest_hits += 1;
+                    }
+                }
+            }
+            if inst.dst.is_some() {
+                last_dst = inst.dst;
+            }
+            i += 1;
+        }
+        prop_assert!(picks > 100, "the mix must produce source operands");
+        // Pointer chasing and pool clamping inflate newest-hits above 1/m,
+        // but nowhere near "every pick": under the old bug this ratio was
+        // ~1.0 for degenerate denominators.
+        prop_assert!(
+            (newest_hits as f64) < 0.8 * picks as f64,
+            "distance collapsed to 1: {newest_hits}/{picks} picks hit the newest destination"
+        );
+    }
+}

@@ -1,39 +1,20 @@
-//! Ablation study over the interval model's design choices: second-order
-//! overlap modeling, the old-window reset on miss events, and the one-IPC
-//! simplification, all measured against detailed simulation.
+//! Shim over the generic scenario engine for the ablation study (overlap
+//! modeling, old-window reset, one-IPC — all against detailed simulation).
+//! Equivalent to `iss run ablation`.
 
-use iss_bench::{scale_from_env, SPEC_QUICK};
+use iss_bench::SPEC_QUICK;
+use iss_sim::env::scale_from_env;
 use iss_sim::experiments::ablation;
-use iss_sim::metrics;
+use iss_sim::report::format_comparison_table;
 
 fn main() {
-    let rows = ablation(&SPEC_QUICK, scale_from_env());
-    println!("Ablation — relative IPC error against detailed simulation");
+    let records = ablation(&SPEC_QUICK, scale_from_env());
     println!(
-        "{:<10} {:>10} {:>12} {:>14} {:>14} {:>10}",
-        "benchmark", "detailed", "interval", "no-overlap", "no-ow-reset", "one-IPC"
-    );
-    let mut per_variant = vec![Vec::new(); 4];
-    for r in &rows {
-        let e = r.errors();
-        for (v, err) in e.iter().enumerate() {
-            per_variant[v].push(*err);
-        }
-        println!(
-            "{:<10} {:>10.3} {:>11.1}% {:>13.1}% {:>13.1}% {:>9.1}%",
-            r.benchmark,
-            r.detailed_ipc,
-            e[0] * 100.0,
-            e[1] * 100.0,
-            e[2] * 100.0,
-            e[3] * 100.0
-        );
-    }
-    println!(
-        "average errors: interval {:.1}%, no-overlap {:.1}%, no-ow-reset {:.1}%, one-IPC {:.1}%",
-        metrics::mean(&per_variant[0]) * 100.0,
-        metrics::mean(&per_variant[1]) * 100.0,
-        metrics::mean(&per_variant[2]) * 100.0,
-        metrics::mean(&per_variant[3]) * 100.0
+        "{}",
+        format_comparison_table(
+            "Ablation — relative CPI error against detailed simulation",
+            &records,
+            "detailed"
+        )
     );
 }

@@ -1,8 +1,10 @@
-//! Regenerates Figure 10: simulation speedup for PARSEC workloads.
+//! Shim over the generic scenario engine for Figure 10 (simulation
+//! speedup, PARSEC). Equivalent to `iss run fig10`.
 
-use iss_bench::{scale_from_env, CORE_COUNTS, PARSEC_QUICK};
+use iss_bench::{CORE_COUNTS, PARSEC_QUICK};
+use iss_sim::env::scale_from_env;
 use iss_sim::experiments::fig10;
-use iss_sim::report::format_speedup_table;
+use iss_sim::report::format_comparison_table;
 use iss_trace::catalog::PARSEC;
 
 fn main() {
@@ -12,7 +14,13 @@ fn main() {
     } else {
         PARSEC_QUICK.to_vec()
     };
-    let rows = fig10(&benchmarks, &CORE_COUNTS, scale_from_env());
-    println!("Figure 10 — simulation speedup over detailed simulation (PARSEC)");
-    println!("{}", format_speedup_table(&rows));
+    let records = fig10(&benchmarks, &CORE_COUNTS, scale_from_env());
+    println!(
+        "{}",
+        format_comparison_table(
+            "Figure 10 — simulation speedup over detailed simulation (PARSEC)",
+            &records,
+            "detailed"
+        )
+    );
 }

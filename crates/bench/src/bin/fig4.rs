@@ -1,10 +1,12 @@
-//! Regenerates Figure 4: component-wise accuracy of interval simulation.
+//! Shim over the generic scenario engine for Figure 4 (component-wise
+//! accuracy). Equivalent to `iss run fig4-<variant>`.
 //!
 //! Usage: `fig4 [a|b|c|d|all] [--all-benchmarks]`
 
-use iss_bench::{scale_from_env, SPEC_QUICK};
+use iss_bench::SPEC_QUICK;
+use iss_sim::env::scale_from_env;
 use iss_sim::experiments::{fig4, Fig4Variant};
-use iss_sim::report::format_accuracy_table;
+use iss_sim::report::format_comparison_table;
 use iss_trace::catalog::SPEC_CPU2000;
 
 fn main() {
@@ -25,10 +27,10 @@ fn main() {
         _ => Fig4Variant::all().to_vec(),
     };
     for v in variants {
-        let rows = fig4(v, &benchmarks, scale);
+        let records = fig4(v, &benchmarks, scale);
         println!(
             "{}",
-            format_accuracy_table(&format!("Figure 4 ({})", v.label()), &rows)
+            format_comparison_table(&format!("Figure 4 ({})", v.label()), &records, "detailed")
         );
     }
 }

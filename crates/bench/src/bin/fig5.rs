@@ -1,8 +1,10 @@
-//! Regenerates Figure 5: single-threaded IPC, detailed vs interval.
+//! Shim over the generic scenario engine for Figure 5 (single-threaded
+//! accuracy). Equivalent to `iss run fig5`.
 
-use iss_bench::{scale_from_env, SPEC_QUICK};
+use iss_bench::SPEC_QUICK;
+use iss_sim::env::scale_from_env;
 use iss_sim::experiments::fig5;
-use iss_sim::report::format_accuracy_table;
+use iss_sim::report::format_comparison_table;
 use iss_trace::catalog::SPEC_CPU2000;
 
 fn main() {
@@ -12,9 +14,13 @@ fn main() {
     } else {
         SPEC_QUICK.to_vec()
     };
-    let rows = fig5(&benchmarks, scale_from_env());
+    let records = fig5(&benchmarks, scale_from_env());
     println!(
         "{}",
-        format_accuracy_table("Figure 5 — single-threaded SPEC CPU accuracy", &rows)
+        format_comparison_table(
+            "Figure 5 — single-threaded SPEC CPU accuracy",
+            &records,
+            "detailed"
+        )
     );
 }

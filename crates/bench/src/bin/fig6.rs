@@ -1,12 +1,18 @@
-//! Regenerates Figure 6: STP and ANTT of homogeneous multi-program workloads.
+//! Shim over the generic scenario engine for Figure 6 (multi-program STP
+//! and ANTT). Equivalent to `iss run fig6`.
 
-use iss_bench::{scale_from_env, CORE_COUNTS};
+use iss_bench::{scenarios::FIG6_BENCHMARKS, CORE_COUNTS};
+use iss_sim::env::scale_from_env;
 use iss_sim::experiments::fig6;
-use iss_sim::report::format_fig6_table;
-use iss_trace::catalog::FIG6_BENCHMARKS;
+use iss_sim::report::format_stp_antt_table;
 
 fn main() {
-    let rows = fig6(&FIG6_BENCHMARKS, &CORE_COUNTS, scale_from_env());
-    println!("Figure 6 — multi-program SPEC workloads (STP and ANTT vs copies)");
-    println!("{}", format_fig6_table(&rows));
+    let records = fig6(&FIG6_BENCHMARKS, &CORE_COUNTS, scale_from_env());
+    println!(
+        "{}",
+        format_stp_antt_table(
+            "Figure 6 — multi-program SPEC workloads (STP and ANTT vs copies)",
+            &records
+        )
+    );
 }

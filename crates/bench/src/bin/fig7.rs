@@ -1,8 +1,10 @@
-//! Regenerates Figure 7: PARSEC normalized execution time vs core count.
+//! Shim over the generic scenario engine for Figure 7 (PARSEC scaling).
+//! Equivalent to `iss run fig7`.
 
-use iss_bench::{scale_from_env, CORE_COUNTS, PARSEC_QUICK};
+use iss_bench::{CORE_COUNTS, PARSEC_QUICK};
+use iss_sim::env::scale_from_env;
 use iss_sim::experiments::fig7;
-use iss_sim::report::format_fig7_table;
+use iss_sim::report::format_normalized_table;
 use iss_trace::catalog::PARSEC;
 
 fn main() {
@@ -12,7 +14,13 @@ fn main() {
     } else {
         PARSEC_QUICK.to_vec()
     };
-    let rows = fig7(&benchmarks, &CORE_COUNTS, scale_from_env());
-    println!("Figure 7 — multi-threaded PARSEC workloads (normalized execution time)");
-    println!("{}", format_fig7_table(&rows));
+    let records = fig7(&benchmarks, &CORE_COUNTS, scale_from_env());
+    println!(
+        "{}",
+        format_normalized_table(
+            "Figure 7 — multi-threaded PARSEC workloads",
+            &records,
+            "detailed"
+        )
+    );
 }

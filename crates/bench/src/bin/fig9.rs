@@ -1,8 +1,10 @@
-//! Regenerates Figure 9: simulation speedup for SPEC multi-program workloads.
+//! Shim over the generic scenario engine for Figure 9 (simulation speedup,
+//! SPEC multi-program). Equivalent to `iss run fig9`.
 
-use iss_bench::{scale_from_env, CORE_COUNTS, SPEC_QUICK};
+use iss_bench::{CORE_COUNTS, SPEC_QUICK};
+use iss_sim::env::scale_from_env;
 use iss_sim::experiments::fig9;
-use iss_sim::report::format_speedup_table;
+use iss_sim::report::format_comparison_table;
 use iss_trace::catalog::SPEC_CPU2000;
 
 fn main() {
@@ -12,7 +14,13 @@ fn main() {
     } else {
         SPEC_QUICK.to_vec()
     };
-    let rows = fig9(&benchmarks, &CORE_COUNTS, scale_from_env());
-    println!("Figure 9 — simulation speedup over detailed simulation (SPEC multi-program)");
-    println!("{}", format_speedup_table(&rows));
+    let records = fig9(&benchmarks, &CORE_COUNTS, scale_from_env());
+    println!(
+        "{}",
+        format_comparison_table(
+            "Figure 9 — simulation speedup over detailed simulation (SPEC multi-program)",
+            &records,
+            "detailed"
+        )
+    );
 }

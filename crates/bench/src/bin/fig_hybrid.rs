@@ -1,13 +1,13 @@
-//! The hybrid speed-vs-CPI-error frontier: per benchmark and swap policy,
-//! how much wall-clock the policy saves over pure detailed simulation and
-//! how much CPI accuracy it gives up.
+//! Shim over the generic scenario engine for the hybrid
+//! speed-vs-CPI-error frontier. Equivalent to `iss run hybrid`.
 //!
 //! `--all-benchmarks` sweeps the full SPEC CPU2000 catalog instead of the
 //! quick subset; `ISS_EXPERIMENT_SCALE` controls the instruction budget.
 
-use iss_bench::{scale_from_env, SPEC_QUICK};
+use iss_bench::SPEC_QUICK;
+use iss_sim::env::scale_from_env;
 use iss_sim::experiments::{default_hybrid_policies, fig_hybrid};
-use iss_sim::report::format_hybrid_table;
+use iss_sim::report::{format_comparison_table, groups};
 use iss_trace::catalog::SPEC_CPU2000;
 
 fn main() {
@@ -19,21 +19,37 @@ fn main() {
     };
     let scale = scale_from_env();
     let policies = default_hybrid_policies(scale);
-    let rows = fig_hybrid(&benchmarks, &policies, scale);
+    let records = fig_hybrid(&benchmarks, &policies, scale);
     println!("Hybrid simulation — speed vs CPI-error frontier");
     println!("(interval quantum per policy label; reference: pure detailed)\n");
-    print!("{}", format_hybrid_table(&rows));
-    let best = rows
-        .iter()
-        .filter(|r| r.cpi_error() <= 0.05)
-        .max_by(|a, b| a.speedup().total_cmp(&b.speedup()));
+    print!(
+        "{}",
+        format_comparison_table("hybrid", &records, "detailed")
+    );
+    let best = groups(&records)
+        .into_iter()
+        .filter_map(|group| {
+            let detailed = group.variant("detailed")?;
+            group
+                .records
+                .iter()
+                .filter(|r| r.variant != "detailed" && r.cpi_error_vs(detailed) <= 0.05)
+                .map(|r| {
+                    (
+                        r.variant.clone(),
+                        group.key.to_string(),
+                        r.speedup_vs(detailed),
+                        r.cpi_error_vs(detailed),
+                    )
+                })
+                .max_by(|a, b| a.2.total_cmp(&b.2))
+        })
+        .max_by(|a, b| a.2.total_cmp(&b.2));
     match best {
-        Some(r) => println!(
-            "\nbest point within 5% CPI error: {} on {} — {:.1}x at {:.1}% error",
-            r.policy,
-            r.benchmark,
-            r.speedup(),
-            r.cpi_error() * 100.0
+        Some((policy, benchmark, speedup, error)) => println!(
+            "\nbest point within 5% CPI error: {policy} on {benchmark} — \
+             {speedup:.1}x at {:.1}% error",
+            error * 100.0
         ),
         None => println!("\nno point stayed within 5% CPI error at this scale"),
     }

@@ -1,0 +1,281 @@
+//! The scenario CLI: one front door for every experiment.
+//!
+//! ```text
+//! iss run <spec.toml | builtin-name> [--threads N] [--reference VARIANT]
+//!                                    [--json PATH]
+//! iss validate <spec.toml | directory>...
+//! iss list [directory]
+//! iss export <builtin-name> [path]
+//! ```
+//!
+//! `run` executes a scenario file (or a built-in figure sweep by name)
+//! through the generic engine and prints the unified record table plus,
+//! when the sweep carries a reference variant (`detailed` by default), the
+//! comparison view (CPI error, host-time speedup, CI coverage).
+//! `validate` parses and expands specs without simulating anything — every
+//! structural defect a run would hit (unknown keys, unknown benchmarks,
+//! core-count mismatches, invalid configs) fails here, loudly.
+//! `list` names the built-in sweeps and any `.toml` files in a directory
+//! (default `examples/scenarios`).
+//! `export` writes a built-in sweep as a scenario file — the quickest way
+//! to start a new scenario: export the nearest figure, then edit knobs.
+//!
+//! The instruction budget of built-in sweeps follows
+//! `ISS_EXPERIMENT_SCALE`; files carry their own budgets.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use iss_bench::scenarios::{builtin_sweep, is_wall_clock_frontier, BUILTINS};
+use iss_sim::env::{configured_threads, scale_from_env};
+use iss_sim::report;
+use iss_sim::scenario::render_records_json;
+use iss_sim::SweepSpec;
+
+const DEFAULT_SCENARIO_DIR: &str = "examples/scenarios";
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  iss run <spec.toml | builtin> [--threads N] [--reference VARIANT] \
+         [--json PATH]\n  iss validate <spec.toml | directory>...\n  iss list [directory]\n  \
+         iss export <builtin> [path]"
+    );
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("run") => run(&args[1..]),
+        Some("validate") => validate(&args[1..]),
+        Some("list") => list(&args[1..]),
+        Some("export") => export(&args[1..]),
+        _ => usage(),
+    }
+}
+
+fn export(args: &[String]) -> ExitCode {
+    let Some(name) = args.first() else {
+        return usage();
+    };
+    let Some(sweep) = builtin_sweep(name, scale_from_env()) else {
+        eprintln!("iss export: `{name}` is not a built-in sweep (see `iss list`)");
+        return ExitCode::FAILURE;
+    };
+    let text = sweep.to_toml();
+    match args.get(1) {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &text) {
+                eprintln!("iss export: cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!("wrote {path}");
+        }
+        None => print!("{text}"),
+    }
+    ExitCode::SUCCESS
+}
+
+/// Loads a sweep from a file path or a built-in name.
+fn load(target: &str) -> Result<SweepSpec, String> {
+    let path = Path::new(target);
+    if path.exists() {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        return SweepSpec::from_toml(&text).map_err(|e| format!("{}: {e}", path.display()));
+    }
+    match builtin_sweep(target, scale_from_env()) {
+        Some(sweep) => Ok(sweep),
+        None => Err(format!(
+            "`{target}` is neither a readable spec file nor a built-in sweep \
+             (see `iss list`)"
+        )),
+    }
+}
+
+fn run(args: &[String]) -> ExitCode {
+    let mut target = None;
+    let mut threads = None;
+    let mut reference = None;
+    let mut json_path: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--threads" => match it.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) if n > 0 => threads = Some(n),
+                _ => {
+                    eprintln!("iss run: --threads needs a positive integer");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--reference" => match it.next() {
+                Some(v) => reference = Some(v.clone()),
+                None => {
+                    eprintln!("iss run: --reference needs a variant name");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--json" => match it.next() {
+                Some(v) => json_path = Some(PathBuf::from(v)),
+                None => {
+                    eprintln!("iss run: --json needs an output path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other if !other.starts_with("--") && target.is_none() => {
+                target = Some(other.to_string());
+            }
+            other => {
+                eprintln!("iss run: unexpected argument `{other}`");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let Some(target) = target else {
+        return usage();
+    };
+    let sweep = match load(&target) {
+        Ok(sweep) => sweep,
+        Err(e) => {
+            eprintln!("iss run: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let points = match sweep.expand() {
+        Ok(points) => points,
+        Err(e) => {
+            eprintln!("iss run: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // A sweep whose rows compare host wall-clocks (the hybrid/sampling
+    // frontiers by name, or any sweep mixing hybrid/sampled variants with
+    // references) runs on one worker by default: concurrent jobs
+    // time-slicing against each other would contaminate exactly the
+    // speedup columns such sweeps exist to report. `--threads` overrides.
+    let frontier = is_wall_clock_frontier(&sweep.name)
+        || points.iter().any(|p| {
+            matches!(
+                p.model,
+                iss_sim::CoreModel::Hybrid(_) | iss_sim::CoreModel::Sampled(_)
+            )
+        });
+    let threads = threads.unwrap_or_else(|| if frontier { 1 } else { configured_threads() });
+    println!(
+        "running `{}`: {} scenario(s) on {} worker(s)\n",
+        sweep.name,
+        points.len(),
+        threads
+    );
+    let records = match sweep.run_with_threads(threads) {
+        Ok(records) => records,
+        Err(e) => {
+            eprintln!("iss run: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    print!("{}", report::format_records_table(&sweep.name, &records));
+    let reference = reference.or_else(|| {
+        records
+            .iter()
+            .any(|r| r.variant == "detailed")
+            .then(|| "detailed".to_string())
+    });
+    if let Some(reference) = reference {
+        println!();
+        print!(
+            "{}",
+            report::format_comparison_table(&sweep.name, &records, &reference)
+        );
+    }
+    if let Some(path) = json_path {
+        let json = render_records_json(&records);
+        if let Err(e) = std::fs::write(&path, json) {
+            eprintln!("iss run: cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        println!("\nwrote {}", path.display());
+    }
+    ExitCode::SUCCESS
+}
+
+/// Spec files in a directory, sorted for deterministic output.
+fn spec_files(dir: &Path) -> Vec<PathBuf> {
+    let mut files: Vec<PathBuf> = std::fs::read_dir(dir)
+        .into_iter()
+        .flatten()
+        .flatten()
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|e| e == "toml"))
+        .collect();
+    files.sort();
+    files
+}
+
+fn validate(args: &[String]) -> ExitCode {
+    if args.is_empty() {
+        return usage();
+    }
+    let mut targets = Vec::new();
+    for a in args {
+        let path = Path::new(a);
+        if path.is_dir() {
+            let found = spec_files(path);
+            if found.is_empty() {
+                eprintln!("iss validate: no .toml files in {}", path.display());
+                return ExitCode::FAILURE;
+            }
+            targets.extend(found);
+        } else {
+            targets.push(path.to_path_buf());
+        }
+    }
+    let mut failures = 0;
+    for path in &targets {
+        let outcome = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read: {e}"))
+            .and_then(|text| SweepSpec::from_toml(&text).map_err(|e| e.to_string()))
+            .and_then(|sweep| sweep.expand().map(|points| (sweep, points)));
+        match outcome {
+            Ok((sweep, points)) => {
+                println!(
+                    "{}: OK (`{}`, {} scenario(s))",
+                    path.display(),
+                    sweep.name,
+                    points.len()
+                );
+            }
+            Err(e) => {
+                failures += 1;
+                eprintln!("{}: FAIL — {e}", path.display());
+            }
+        }
+    }
+    if failures == 0 {
+        println!("{} spec file(s) valid", targets.len());
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("{failures} of {} spec file(s) invalid", targets.len());
+        ExitCode::FAILURE
+    }
+}
+
+fn list(args: &[String]) -> ExitCode {
+    println!("built-in sweeps (run with `iss run <name>`):");
+    for (name, description) in BUILTINS {
+        println!("  {name:<14} {description}");
+    }
+    let dir = args
+        .first()
+        .map_or_else(|| PathBuf::from(DEFAULT_SCENARIO_DIR), PathBuf::from);
+    let files = spec_files(&dir);
+    if files.is_empty() {
+        println!("\nno scenario files found under {}", dir.display());
+    } else {
+        println!("\nscenario files under {}:", dir.display());
+        for f in files {
+            println!("  {}", f.display());
+        }
+    }
+    ExitCode::SUCCESS
+}

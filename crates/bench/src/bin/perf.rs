@@ -9,6 +9,10 @@
 //! * the interval-vs-detailed simulation speedup,
 //! * wall-clock seconds per figure driver (these scale with `ISS_THREADS`).
 //!
+//! Every measurement runs through the generic scenario engine: each model's
+//! throughput row is a one-model benchmark sweep executed on a single
+//! worker, summed over its unified records.
+//!
 //! Usage: `perf [output-path] [--no-figures]`; the output path defaults to
 //! `ISS_BENCH_OUT` or `BENCH_interval.json`. The instruction budget follows
 //! `ISS_EXPERIMENT_SCALE` (`quick` by default).
@@ -16,11 +20,12 @@
 use std::fmt::Write as _;
 use std::time::Instant;
 
-use iss_bench::{scale_from_env, PARSEC_QUICK, SPEC_QUICK};
-use iss_sim::batch::{configured_threads, run_batch_with_threads, SimJob};
+use iss_bench::{PARSEC_QUICK, SPEC_QUICK};
+use iss_sim::env::{configured_threads, scale_from_env};
 use iss_sim::experiments::{self, default_sampling_specs, ExperimentScale, Fig4Variant};
 use iss_sim::runner::CoreModel;
-use iss_sim::{SystemConfig, WorkloadSpec};
+use iss_sim::scenario::{ScenarioSpec, SweepSpec};
+use iss_sim::WorkloadSpec;
 
 /// Single-thread throughput of one core model over the SPEC quick set.
 struct ModelThroughput {
@@ -40,25 +45,22 @@ impl ModelThroughput {
 }
 
 fn measure_model(model: CoreModel, scale: ExperimentScale) -> ModelThroughput {
-    let config = SystemConfig::hpca2010_baseline(1);
-    let jobs: Vec<SimJob> = SPEC_QUICK
-        .iter()
-        .map(|b| {
-            SimJob::new(
-                model,
-                config,
-                WorkloadSpec::single(b, scale.spec_length),
-                scale.seed,
-            )
-        })
-        .collect();
+    let mut base = ScenarioSpec::new(
+        WorkloadSpec::single(SPEC_QUICK[0], scale.spec_length),
+        scale.seed,
+    );
+    base.model = model;
+    let mut sweep = SweepSpec::new("perf", base);
+    sweep.benchmarks = SPEC_QUICK.iter().map(|b| (*b).to_string()).collect();
     // One worker: this is the hot-loop MIPS figure, not batch scaling, and a
     // single worker keeps the per-run wall clocks free of host contention.
-    let out = run_batch_with_threads(&jobs, 1);
+    let records = sweep
+        .run_with_threads(1)
+        .unwrap_or_else(|e| panic!("perf sweep failed: {e}"));
     ModelThroughput {
         model,
-        instructions: out.iter().map(|s| s.total_instructions).sum(),
-        host_seconds: out.iter().map(|s| s.host_seconds).sum(),
+        instructions: records.iter().map(|r| r.instructions).sum(),
+        host_seconds: records.iter().map(|r| r.host_seconds).sum(),
     }
 }
 

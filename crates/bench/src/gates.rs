@@ -25,9 +25,10 @@
 use std::fmt::Write as _;
 
 use iss_sim::experiments::{
-    self, default_hybrid_policies, default_sampling_specs, AccuracyRow, ExperimentScale,
-    Fig4Variant, HybridFrontierRow, SamplingFrontierRow,
+    self, default_hybrid_policies, default_sampling_specs, ExperimentScale, Fig4Variant,
 };
+use iss_sim::report;
+use iss_sim::Record;
 
 /// One pinned accuracy number.
 #[derive(Debug, Clone, PartialEq)]
@@ -207,57 +208,80 @@ pub fn diff_accuracy(golden: &GoldenAccuracy, current: &[GoldenRow]) -> Vec<Stri
 }
 
 /// Computes the current accuracy rows: all four Figure 4 variants, Figure 5,
-/// and the hybrid frontier under the default policy sweep.
+/// and the hybrid/sampling frontiers under their default sweeps — all
+/// through the generic scenario engine, paired out of the unified
+/// [`Record`] rows.
+///
+/// The error formulas are the figures' own: per-core IPC error for the
+/// single-threaded accuracy figures, whole-run CPI error (against the
+/// group's pure-detailed reference) for the frontier rows — identical
+/// operations to the legacy bespoke drivers, so the committed golden file
+/// keeps passing without regeneration.
+///
+/// # Panics
+///
+/// Panics when a comparison group comes back without its reference record
+/// (impossible for the sweeps this function constructs).
 #[must_use]
 pub fn compute_accuracy_rows(benchmarks: &[&str], scale: ExperimentScale) -> Vec<GoldenRow> {
     let mut rows = Vec::new();
-    let fig4_slug = |v: Fig4Variant| match v {
-        Fig4Variant::EffectiveDispatchRate => "fig4-dispatch",
-        Fig4Variant::ICache => "fig4-icache",
-        Fig4Variant::BranchPrediction => "fig4-branch",
-        Fig4Variant::L2Cache => "fig4-l2",
-    };
     for variant in Fig4Variant::all() {
-        for r in experiments::fig4(variant, benchmarks, scale) {
-            rows.push(accuracy_row(fig4_slug(variant), &r));
-        }
+        rows.extend(ipc_error_rows(&experiments::fig4(
+            variant, benchmarks, scale,
+        )));
     }
-    for r in experiments::fig5(benchmarks, scale) {
-        rows.push(accuracy_row("fig5", &r));
-    }
+    rows.extend(ipc_error_rows(&experiments::fig5(benchmarks, scale)));
     let policies = default_hybrid_policies(scale);
-    for r in experiments::fig_hybrid(benchmarks, &policies, scale) {
-        rows.push(hybrid_row(&r));
-    }
+    rows.extend(cpi_error_rows(
+        &experiments::fig_hybrid(benchmarks, &policies, scale),
+        "hybrid-",
+        "",
+    ));
     let specs = default_sampling_specs(scale);
-    for r in experiments::fig_sampling(benchmarks, &specs, scale) {
-        rows.push(sampling_row(&r));
-    }
+    rows.extend(cpi_error_rows(
+        &experiments::fig_sampling(benchmarks, &specs, scale),
+        "sampled-",
+        "sampling-",
+    ));
     rows
 }
 
-fn accuracy_row(figure: &str, r: &AccuracyRow) -> GoldenRow {
-    GoldenRow {
-        figure: figure.to_string(),
-        benchmark: r.benchmark.clone(),
-        error: r.error(),
-    }
+/// One golden row per group: the interval variant's core-0 IPC error
+/// against the detailed variant (Figures 4 and 5), keyed by the sweep
+/// name.
+fn ipc_error_rows(records: &[Record]) -> Vec<GoldenRow> {
+    report::groups(records)
+        .into_iter()
+        .map(|group| {
+            let detailed = group.variant("detailed").expect("detailed reference");
+            let interval = group.variant("interval").expect("interval candidate");
+            GoldenRow {
+                figure: interval.sweep.clone(),
+                benchmark: group.key.to_string(),
+                error: interval.ipc_error_vs(detailed),
+            }
+        })
+        .collect()
 }
 
-fn hybrid_row(r: &HybridFrontierRow) -> GoldenRow {
-    GoldenRow {
-        figure: format!("hybrid-{}", r.policy),
-        benchmark: r.benchmark.clone(),
-        error: r.cpi_error(),
+/// One golden row per `(group, matching variant)`: the variant's CPI error
+/// against the group's detailed reference, keyed by the variant label with
+/// an optional figure prefix (the hybrid and sampling frontiers).
+fn cpi_error_rows(records: &[Record], variant_prefix: &str, figure_prefix: &str) -> Vec<GoldenRow> {
+    let mut rows = Vec::new();
+    for group in report::groups(records) {
+        let detailed = group.variant("detailed").expect("detailed reference");
+        for r in &group.records {
+            if r.variant.starts_with(variant_prefix) {
+                rows.push(GoldenRow {
+                    figure: format!("{figure_prefix}{}", r.variant),
+                    benchmark: group.key.to_string(),
+                    error: r.cpi_error_vs(detailed),
+                });
+            }
+        }
     }
-}
-
-fn sampling_row(r: &SamplingFrontierRow) -> GoldenRow {
-    GoldenRow {
-        figure: format!("sampling-{}", r.spec_label),
-        benchmark: r.benchmark.clone(),
-        error: r.cpi_error(),
-    }
+    rows
 }
 
 // ---------------------------------------------------------------------------

@@ -1,9 +1,14 @@
-//! # iss-bench — figure regeneration and performance benchmarks
+//! # iss-bench — the `iss` scenario CLI, figure shims and benchmarks
 //!
-//! One binary per figure/table of the paper (`fig4` .. `fig10`, `table1`)
-//! prints the rows the corresponding figure plots; the Criterion benches
-//! under `benches/` measure the host-side cost of interval vs detailed
-//! simulation (the quantity behind Figures 9 and 10).
+//! The `iss` binary is the front door: `iss run <spec-or-figure>` executes
+//! any scenario file or built-in figure sweep through the generic scenario
+//! engine, `iss validate` checks spec files without simulating, `iss list`
+//! names what is available. The per-figure binaries (`fig4` .. `fig10`,
+//! `fig_hybrid`, `fig_sampling`, `ablation`, `table1`) are thin shims over
+//! the same built-in sweeps ([`scenarios`]), kept for CI and muscle
+//! memory; the Criterion benches under `benches/` measure the host-side
+//! cost of interval vs detailed simulation (the quantity behind Figures 9
+//! and 10).
 //!
 //! The instruction budget of the binaries is controlled by the
 //! `ISS_EXPERIMENT_SCALE` environment variable: `quick` (default for CI
@@ -11,69 +16,12 @@
 //! per benchmark.
 
 pub mod gates;
+pub mod scenarios;
 
-use iss_sim::experiments::ExperimentScale;
-
-/// Parses an `ISS_EXPERIMENT_SCALE` value into an [`ExperimentScale`].
-///
-/// `None` (variable unset) and the empty string select `quick`. Anything
-/// else must be `quick`, `full` (case-insensitive) or a positive integer
-/// instruction count per SPEC benchmark (PARSEC workloads get twice that
-/// budget, saturating instead of overflowing). Unknown strings, `0`,
-/// negative and overflowing numbers are **rejected** rather than silently
-/// falling back to `quick` — a typo like `ISS_EXPERIMENT_SCALE=ful` must
-/// not quietly turn a "full" accuracy run into a quick one (the same
-/// contract [`iss_sim::batch::parse_thread_count`] gives `ISS_THREADS`).
-///
-/// # Errors
-///
-/// Returns a message naming the offending value when it is neither a known
-/// keyword nor a positive integer.
-pub fn parse_scale(value: Option<&str>) -> Result<ExperimentScale, String> {
-    let Some(raw) = value else {
-        return Ok(ExperimentScale::quick());
-    };
-    let trimmed = raw.trim();
-    if trimmed.is_empty() {
-        return Ok(ExperimentScale::quick());
-    }
-    if trimmed.eq_ignore_ascii_case("quick") {
-        return Ok(ExperimentScale::quick());
-    }
-    if trimmed.eq_ignore_ascii_case("full") {
-        return Ok(ExperimentScale::full());
-    }
-    match trimmed.parse::<u64>() {
-        Ok(0) => Err(
-            "ISS_EXPERIMENT_SCALE must be `quick`, `full`, or a positive instruction \
-             count, got `0` (unset the variable to run at quick scale)"
-                .to_string(),
-        ),
-        Ok(n) => Ok(ExperimentScale {
-            spec_length: n,
-            parsec_length: n.saturating_mul(2),
-            seed: 42,
-        }),
-        Err(_) => Err(format!(
-            "ISS_EXPERIMENT_SCALE must be `quick`, `full`, or a positive instruction \
-             count, got `{trimmed}` (unset the variable to run at quick scale)"
-        )),
-    }
-}
-
-/// Reads the experiment scale from `ISS_EXPERIMENT_SCALE` (see
-/// [`parse_scale`] for the accepted values).
-///
-/// # Panics
-///
-/// Panics with a clear message when the variable is set to an unknown
-/// keyword, `0`, or a non-positive/overflowing number, instead of silently
-/// running at the wrong scale.
-#[must_use]
-pub fn scale_from_env() -> ExperimentScale {
-    let value = std::env::var("ISS_EXPERIMENT_SCALE").ok();
-    parse_scale(value.as_deref()).unwrap_or_else(|e| panic!("{e}"))
-}
+// Strict environment parsing is shared across the workspace in
+// `iss_sim::env`; re-exported here so every bench binary (and downstream
+// user) reaches it through one path with one loud-failure contract.
+pub use iss_sim::env::{parse_scale, scale_from_env};
 
 /// The subset of SPEC benchmarks used when a binary is asked for a quick run
 /// (one representative per behaviour class).
@@ -88,6 +36,7 @@ pub const CORE_COUNTS: [usize; 4] = [1, 2, 4, 8];
 #[cfg(test)]
 mod tests {
     use super::*;
+    use iss_sim::experiments::ExperimentScale;
 
     #[test]
     fn env_scale_parses_known_values() {
@@ -98,51 +47,12 @@ mod tests {
     }
 
     #[test]
-    fn scale_parsing_accepts_keywords_numbers_and_unset() {
-        assert_eq!(parse_scale(None).unwrap(), ExperimentScale::quick());
-        assert_eq!(parse_scale(Some("")).unwrap(), ExperimentScale::quick());
-        assert_eq!(parse_scale(Some("  ")).unwrap(), ExperimentScale::quick());
+    fn re_exported_scale_parser_is_the_shared_one() {
         assert_eq!(
             parse_scale(Some("quick")).unwrap(),
             ExperimentScale::quick()
         );
-        assert_eq!(
-            parse_scale(Some("QUICK")).unwrap(),
-            ExperimentScale::quick()
-        );
-        assert_eq!(parse_scale(Some("full")).unwrap(), ExperimentScale::full());
-        assert_eq!(parse_scale(Some("Full")).unwrap(), ExperimentScale::full());
-        let custom = parse_scale(Some(" 50000 ")).unwrap();
-        assert_eq!(custom.spec_length, 50_000);
-        assert_eq!(custom.parsec_length, 100_000);
-        assert_eq!(custom.seed, 42);
-    }
-
-    #[test]
-    fn scale_parsing_saturates_the_parsec_budget() {
-        let huge = parse_scale(Some(&u64::MAX.to_string())).unwrap();
-        assert_eq!(huge.spec_length, u64::MAX);
-        assert_eq!(huge.parsec_length, u64::MAX, "must saturate, not overflow");
-    }
-
-    #[test]
-    fn scale_parsing_rejects_typos_zero_and_bad_numbers_loudly() {
-        // The motivating bug: `ful` used to silently select quick scale.
-        let typo = parse_scale(Some("ful")).unwrap_err();
-        assert!(typo.contains("`ful`"), "got: {typo}");
-        let zero = parse_scale(Some("0")).unwrap_err();
-        assert!(zero.contains("`0`"), "got: {zero}");
-        let negative = parse_scale(Some("-5")).unwrap_err();
-        assert!(negative.contains("`-5`"), "got: {negative}");
-        // Larger than u64::MAX: the integer parse fails, which must surface
-        // as an error, not a silent quick run.
-        let overflow = parse_scale(Some("99999999999999999999999")).unwrap_err();
-        assert!(
-            overflow.contains("99999999999999999999999"),
-            "got: {overflow}"
-        );
-        let junk = parse_scale(Some("fast")).unwrap_err();
-        assert!(junk.contains("`fast`"), "got: {junk}");
+        assert!(parse_scale(Some("ful")).is_err());
     }
 
     #[test]

@@ -1,0 +1,144 @@
+//! Built-in sweeps: every figure of the paper as a named, ready-to-run
+//! [`SweepSpec`].
+//!
+//! `iss run <name>` resolves names through [`builtin_sweep`]; `iss list`
+//! prints [`BUILTINS`]. Each entry is exactly the sweep the corresponding
+//! figure shim binary runs, and each is mirrored by a checked-in scenario
+//! file under `examples/scenarios/` (a regression test asserts the two
+//! stay equal, so the spec files cannot silently drift from the Rust
+//! constructors).
+
+use iss_sim::experiments::{
+    self, default_hybrid_policies, default_sampling_specs, ExperimentScale, Fig4Variant,
+};
+use iss_sim::SweepSpec;
+
+use crate::{CORE_COUNTS, PARSEC_QUICK, SPEC_QUICK};
+
+/// The benchmark set of Figure 6 (mirrors `iss_trace::catalog`).
+pub const FIG6_BENCHMARKS: [&str; 5] = ["gcc", "mcf", "twolf", "art", "swim"];
+
+/// Built-in sweep names and one-line descriptions, in `iss list` order.
+pub const BUILTINS: [(&str, &str); 13] = [
+    (
+        "fig4-dispatch",
+        "Fig 4(a): effective dispatch rate isolation, detailed vs interval",
+    ),
+    (
+        "fig4-icache",
+        "Fig 4(b): I-cache/I-TLB isolation, detailed vs interval",
+    ),
+    (
+        "fig4-branch",
+        "Fig 4(c): branch prediction isolation, detailed vs interval",
+    ),
+    (
+        "fig4-l2",
+        "Fig 4(d): L2 cache isolation, detailed vs interval",
+    ),
+    (
+        "fig5",
+        "Fig 5: single-threaded SPEC accuracy on the Table 1 baseline",
+    ),
+    (
+        "fig6",
+        "Fig 6: homogeneous multi-program STP/ANTT vs copy count",
+    ),
+    (
+        "fig7",
+        "Fig 7: multi-threaded PARSEC normalized time vs core count",
+    ),
+    (
+        "fig8",
+        "Fig 8: 3D-stacking case study (2 cores + L2 vs 4 cores + 3D)",
+    ),
+    (
+        "fig9",
+        "Fig 9: simulation speedup, SPEC multi-program workloads",
+    ),
+    (
+        "fig10",
+        "Fig 10: simulation speedup, multi-threaded PARSEC workloads",
+    ),
+    (
+        "hybrid",
+        "Hybrid frontier: swap policies vs pure detailed (speed vs CPI error)",
+    ),
+    (
+        "sampling",
+        "Sampling frontier: sampled CPI with 95% CI vs pure detailed/interval",
+    ),
+    (
+        "ablation",
+        "Ablation: overlap modeling, old-window reset, one-IPC vs detailed",
+    ),
+];
+
+/// Resolves a built-in sweep name at the given scale (quick benchmark
+/// subsets, the same sweeps the figure shim binaries run).
+#[must_use]
+pub fn builtin_sweep(name: &str, scale: ExperimentScale) -> Option<SweepSpec> {
+    let spec_quick: Vec<&str> = SPEC_QUICK.to_vec();
+    let parsec_quick: Vec<&str> = PARSEC_QUICK.to_vec();
+    Some(match name {
+        "fig4-dispatch" => {
+            experiments::fig4_sweep(Fig4Variant::EffectiveDispatchRate, &spec_quick, scale)
+        }
+        "fig4-icache" => experiments::fig4_sweep(Fig4Variant::ICache, &spec_quick, scale),
+        "fig4-branch" => experiments::fig4_sweep(Fig4Variant::BranchPrediction, &spec_quick, scale),
+        "fig4-l2" => experiments::fig4_sweep(Fig4Variant::L2Cache, &spec_quick, scale),
+        "fig5" => experiments::fig5_sweep(&spec_quick, scale),
+        "fig6" => experiments::fig6_sweep(&FIG6_BENCHMARKS, &CORE_COUNTS, scale),
+        "fig7" => experiments::fig7_sweep(&parsec_quick, &CORE_COUNTS, scale),
+        "fig8" => experiments::fig8_sweep(&parsec_quick, scale),
+        "fig9" => experiments::fig9_sweep(&spec_quick, &CORE_COUNTS, scale),
+        "fig10" => experiments::fig10_sweep(&parsec_quick, &CORE_COUNTS, scale),
+        "hybrid" => experiments::hybrid_sweep(&spec_quick, &default_hybrid_policies(scale), scale),
+        "sampling" => {
+            experiments::sampling_sweep(&spec_quick, &default_sampling_specs(scale), scale)
+        }
+        "ablation" => experiments::ablation_sweep(&spec_quick, scale),
+        _ => return None,
+    })
+}
+
+/// Whether a built-in sweep's speedup columns compare wall-clocks and must
+/// therefore run on a single batch worker.
+#[must_use]
+pub fn is_wall_clock_frontier(name: &str) -> bool {
+    matches!(name, "hybrid" | "sampling")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_listed_builtin_resolves_and_expands() {
+        let scale = ExperimentScale::quick();
+        for (name, _) in BUILTINS {
+            let sweep = builtin_sweep(name, scale)
+                .unwrap_or_else(|| panic!("builtin `{name}` must resolve"));
+            assert_eq!(sweep.name, name);
+            let points = sweep
+                .expand()
+                .unwrap_or_else(|e| panic!("builtin `{name}` must expand: {e}"));
+            assert!(!points.is_empty(), "builtin `{name}` expands to no points");
+        }
+        assert!(builtin_sweep("fig11", scale).is_none());
+    }
+
+    #[test]
+    fn builtin_files_round_trip_through_the_codec() {
+        let scale = ExperimentScale::quick();
+        for (name, _) in BUILTINS {
+            let sweep = builtin_sweep(name, scale).unwrap();
+            let reparsed = SweepSpec::from_toml(&sweep.to_toml())
+                .unwrap_or_else(|e| panic!("builtin `{name}` must re-parse: {e}"));
+            assert_eq!(
+                sweep, reparsed,
+                "builtin `{name}` drifted through the codec"
+            );
+        }
+    }
+}

@@ -67,55 +67,9 @@ impl std::fmt::Display for JobPanic {
 
 impl std::error::Error for JobPanic {}
 
-/// Parses an `ISS_THREADS` value into a worker count.
-///
-/// `None` (variable unset) and the empty string select the default (the
-/// host's available parallelism). Anything else must be a positive integer:
-/// `0` and non-numeric values are **rejected** rather than silently falling
-/// back to the default — a typo in a benchmarking harness must not silently
-/// produce numbers measured at the wrong concurrency.
-///
-/// # Errors
-///
-/// Returns a message naming the offending value when it is not a positive
-/// integer.
-pub fn parse_thread_count(value: Option<&str>) -> Result<usize, String> {
-    let Some(raw) = value else {
-        return Ok(default_threads());
-    };
-    let trimmed = raw.trim();
-    if trimmed.is_empty() {
-        return Ok(default_threads());
-    }
-    match trimmed.parse::<usize>() {
-        Ok(0) => Err("ISS_THREADS must be a positive integer, got `0` \
-             (unset the variable to use the host's available parallelism)"
-            .to_string()),
-        Ok(n) => Ok(n),
-        Err(_) => Err(format!(
-            "ISS_THREADS must be a positive integer, got `{trimmed}` \
-             (unset the variable to use the host's available parallelism)"
-        )),
-    }
-}
-
-/// Worker count used by [`run_batch`]: the `ISS_THREADS` environment
-/// variable when set to a positive integer, otherwise the host's available
-/// parallelism (1 if that cannot be determined).
-///
-/// # Panics
-///
-/// Panics with a clear message when `ISS_THREADS` is set to `0` or to a
-/// non-numeric value (see [`parse_thread_count`]).
-#[must_use]
-pub fn configured_threads() -> usize {
-    let value = std::env::var("ISS_THREADS").ok();
-    parse_thread_count(value.as_deref()).unwrap_or_else(|e| panic!("{e}"))
-}
-
-fn default_threads() -> usize {
-    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
-}
+// Strict `ISS_THREADS` parsing lives in the shared [`crate::env`] module;
+// re-exported here because the worker count is this module's contract.
+pub use crate::env::{configured_threads, parse_thread_count};
 
 fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
@@ -302,23 +256,5 @@ mod tests {
     #[test]
     fn configured_threads_is_positive() {
         assert!(configured_threads() >= 1);
-    }
-
-    #[test]
-    fn thread_parsing_accepts_positive_integers_and_unset() {
-        assert_eq!(parse_thread_count(Some("3")), Ok(3));
-        assert_eq!(parse_thread_count(Some(" 8 ")), Ok(8));
-        assert!(parse_thread_count(None).unwrap() >= 1);
-        assert!(parse_thread_count(Some("")).unwrap() >= 1);
-    }
-
-    #[test]
-    fn thread_parsing_rejects_zero_and_garbage_loudly() {
-        let zero = parse_thread_count(Some("0")).unwrap_err();
-        assert!(zero.contains("`0`"), "got: {zero}");
-        let junk = parse_thread_count(Some("four")).unwrap_err();
-        assert!(junk.contains("`four`"), "got: {junk}");
-        let negative = parse_thread_count(Some("-2")).unwrap_err();
-        assert!(negative.contains("`-2`"), "got: {negative}");
     }
 }

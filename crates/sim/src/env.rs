@@ -1,0 +1,205 @@
+//! Strict environment-variable parsing shared by every binary.
+//!
+//! Every knob the simulator reads from the environment goes through this
+//! module, with one common failure contract: an unset variable (or the
+//! empty string) selects a documented default, and **anything else must
+//! parse exactly** — typos, zeros and overflows are rejected with a loud
+//! error naming the variable, the offending value and the escape hatch,
+//! never silently mapped to a default. A typo like `ISS_EXPERIMENT_SCALE=ful`
+//! must not quietly turn a "full" accuracy run into a quick one, and
+//! `ISS_THREADS=0` must not quietly benchmark at the wrong concurrency.
+//!
+//! The two variables currently covered:
+//!
+//! * `ISS_THREADS` — batch-engine worker count ([`parse_thread_count`],
+//!   [`configured_threads`]).
+//! * `ISS_EXPERIMENT_SCALE` — experiment instruction budget
+//!   ([`parse_scale`], [`scale_from_env`]).
+
+use crate::experiments::ExperimentScale;
+
+/// The common loud-failure error shape of this module: names the variable,
+/// what it accepts, the offending value, and how to get the default back.
+#[must_use]
+pub fn reject(var: &str, expected: &str, got: &str, escape: &str) -> String {
+    format!("{var} must be {expected}, got `{got}` ({escape})")
+}
+
+/// Parses an `ISS_THREADS` value into a worker count.
+///
+/// `None` (variable unset) and the empty string select the default (the
+/// host's available parallelism). Anything else must be a positive integer:
+/// `0` and non-numeric values are **rejected** rather than silently falling
+/// back to the default.
+///
+/// # Errors
+///
+/// Returns a message naming the offending value when it is not a positive
+/// integer.
+pub fn parse_thread_count(value: Option<&str>) -> Result<usize, String> {
+    let Some(raw) = value else {
+        return Ok(default_threads());
+    };
+    let trimmed = raw.trim();
+    if trimmed.is_empty() {
+        return Ok(default_threads());
+    }
+    let escape = "unset the variable to use the host's available parallelism";
+    match trimmed.parse::<usize>() {
+        Ok(0) => Err(reject("ISS_THREADS", "a positive integer", "0", escape)),
+        Ok(n) => Ok(n),
+        Err(_) => Err(reject("ISS_THREADS", "a positive integer", trimmed, escape)),
+    }
+}
+
+/// Worker count used by the batch engine: the `ISS_THREADS` environment
+/// variable when set to a positive integer, otherwise the host's available
+/// parallelism (1 if that cannot be determined).
+///
+/// # Panics
+///
+/// Panics with a clear message when `ISS_THREADS` is set to `0` or to a
+/// non-numeric value (see [`parse_thread_count`]).
+#[must_use]
+pub fn configured_threads() -> usize {
+    let value = std::env::var("ISS_THREADS").ok();
+    parse_thread_count(value.as_deref()).unwrap_or_else(|e| panic!("{e}"))
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// Parses an `ISS_EXPERIMENT_SCALE` value into an [`ExperimentScale`].
+///
+/// `None` (variable unset) and the empty string select `quick`. Anything
+/// else must be `quick`, `full` (case-insensitive) or a positive integer
+/// instruction count per SPEC benchmark (PARSEC workloads get twice that
+/// budget, saturating instead of overflowing). Unknown strings, `0`,
+/// negative and overflowing numbers are **rejected** rather than silently
+/// falling back to `quick`.
+///
+/// # Errors
+///
+/// Returns a message naming the offending value when it is neither a known
+/// keyword nor a positive integer.
+pub fn parse_scale(value: Option<&str>) -> Result<ExperimentScale, String> {
+    let Some(raw) = value else {
+        return Ok(ExperimentScale::quick());
+    };
+    let trimmed = raw.trim();
+    if trimmed.is_empty() {
+        return Ok(ExperimentScale::quick());
+    }
+    if trimmed.eq_ignore_ascii_case("quick") {
+        return Ok(ExperimentScale::quick());
+    }
+    if trimmed.eq_ignore_ascii_case("full") {
+        return Ok(ExperimentScale::full());
+    }
+    let expected = "`quick`, `full`, or a positive instruction count";
+    let escape = "unset the variable to run at quick scale";
+    match trimmed.parse::<u64>() {
+        Ok(0) => Err(reject("ISS_EXPERIMENT_SCALE", expected, "0", escape)),
+        Ok(n) => Ok(ExperimentScale {
+            spec_length: n,
+            parsec_length: n.saturating_mul(2),
+            seed: 42,
+        }),
+        Err(_) => Err(reject("ISS_EXPERIMENT_SCALE", expected, trimmed, escape)),
+    }
+}
+
+/// Reads the experiment scale from `ISS_EXPERIMENT_SCALE` (see
+/// [`parse_scale`] for the accepted values).
+///
+/// # Panics
+///
+/// Panics with a clear message when the variable is set to an unknown
+/// keyword, `0`, or a non-positive/overflowing number, instead of silently
+/// running at the wrong scale.
+#[must_use]
+pub fn scale_from_env() -> ExperimentScale {
+    let value = std::env::var("ISS_EXPERIMENT_SCALE").ok();
+    parse_scale(value.as_deref()).unwrap_or_else(|e| panic!("{e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thread_parsing_accepts_positive_integers_and_unset() {
+        assert_eq!(parse_thread_count(Some("3")), Ok(3));
+        assert_eq!(parse_thread_count(Some(" 8 ")), Ok(8));
+        assert!(parse_thread_count(None).unwrap() >= 1);
+        assert!(parse_thread_count(Some("")).unwrap() >= 1);
+    }
+
+    #[test]
+    fn thread_parsing_rejects_zero_and_garbage_loudly() {
+        let zero = parse_thread_count(Some("0")).unwrap_err();
+        assert!(zero.contains("`0`"), "got: {zero}");
+        let junk = parse_thread_count(Some("four")).unwrap_err();
+        assert!(junk.contains("`four`"), "got: {junk}");
+        let negative = parse_thread_count(Some("-2")).unwrap_err();
+        assert!(negative.contains("`-2`"), "got: {negative}");
+    }
+
+    #[test]
+    fn scale_parsing_accepts_keywords_numbers_and_unset() {
+        assert_eq!(parse_scale(None).unwrap(), ExperimentScale::quick());
+        assert_eq!(parse_scale(Some("")).unwrap(), ExperimentScale::quick());
+        assert_eq!(parse_scale(Some("  ")).unwrap(), ExperimentScale::quick());
+        assert_eq!(
+            parse_scale(Some("quick")).unwrap(),
+            ExperimentScale::quick()
+        );
+        assert_eq!(
+            parse_scale(Some("QUICK")).unwrap(),
+            ExperimentScale::quick()
+        );
+        assert_eq!(parse_scale(Some("full")).unwrap(), ExperimentScale::full());
+        assert_eq!(parse_scale(Some("Full")).unwrap(), ExperimentScale::full());
+        let custom = parse_scale(Some(" 50000 ")).unwrap();
+        assert_eq!(custom.spec_length, 50_000);
+        assert_eq!(custom.parsec_length, 100_000);
+        assert_eq!(custom.seed, 42);
+    }
+
+    #[test]
+    fn scale_parsing_saturates_the_parsec_budget() {
+        let huge = parse_scale(Some(&u64::MAX.to_string())).unwrap();
+        assert_eq!(huge.spec_length, u64::MAX);
+        assert_eq!(huge.parsec_length, u64::MAX, "must saturate, not overflow");
+    }
+
+    #[test]
+    fn scale_parsing_rejects_typos_zero_and_bad_numbers_loudly() {
+        // The motivating bug: `ful` used to silently select quick scale.
+        let typo = parse_scale(Some("ful")).unwrap_err();
+        assert!(typo.contains("`ful`"), "got: {typo}");
+        let zero = parse_scale(Some("0")).unwrap_err();
+        assert!(zero.contains("`0`"), "got: {zero}");
+        let negative = parse_scale(Some("-5")).unwrap_err();
+        assert!(negative.contains("`-5`"), "got: {negative}");
+        let overflow = parse_scale(Some("99999999999999999999999")).unwrap_err();
+        assert!(
+            overflow.contains("99999999999999999999999"),
+            "got: {overflow}"
+        );
+        let junk = parse_scale(Some("fast")).unwrap_err();
+        assert!(junk.contains("`fast`"), "got: {junk}");
+    }
+
+    #[test]
+    fn both_variables_share_the_error_shape() {
+        let threads = parse_thread_count(Some("nope")).unwrap_err();
+        let scale = parse_scale(Some("nope")).unwrap_err();
+        for e in [&threads, &scale] {
+            assert!(e.contains("must be"), "got: {e}");
+            assert!(e.contains("`nope`"), "got: {e}");
+            assert!(e.contains("unset the variable"), "got: {e}");
+        }
+    }
+}

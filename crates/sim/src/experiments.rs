@@ -1,27 +1,29 @@
-//! Experiment drivers: one function per figure of the paper's evaluation.
+//! Experiment drivers: one thin [`SweepSpec`] constructor per figure of the
+//! paper's evaluation.
 //!
-//! Every driver runs *both* the detailed cycle-accurate baseline and the
-//! interval model on the same workloads and returns the rows of the
-//! corresponding figure. The instruction budget is controlled by
-//! [`ExperimentScale`] so the same code serves quick regression tests, the
-//! Criterion benchmarks and the full figure-regeneration binaries.
+//! Every figure is now data, not code: a constructor here assembles the
+//! same declarative [`SweepSpec`] a checked-in scenario file under
+//! `examples/scenarios/` describes, and the generic scenario engine runs
+//! it into unified [`Record`] rows (the `figN` wrappers do exactly that).
+//! The derived quantities the figures plot — IPC error, STP/ANTT,
+//! normalized execution time, host-time speedup, confidence intervals —
+//! are methods over records (see [`Record`] and [`crate::report`]), so
+//! adding a new experiment needs no new row struct, formatter or driver
+//! function.
 //!
-//! All sweeps are expressed as declarative [`SimJob`] lists executed by the
-//! parallel [`run_batch`] engine: the simulation
-//! points of a figure are mutually independent, results come back in job
-//! order, and every simulated quantity is deterministic in
-//! `(model, config, workload, seed)` — so the rows are identical whether
-//! `ISS_THREADS` is 1 or 64 (only the host-time fields of the speedup
-//! figures vary, as wall-clock measurements do by nature).
+//! Sweeps execute on the parallel [`batch`](crate::batch) engine; every
+//! simulated quantity is deterministic in `(model, config, workload,
+//! seed)`, so the rows are identical whether `ISS_THREADS` is 1 or 64.
+//! The two wall-clock frontier sweeps ([`fig_hybrid`], [`fig_sampling`])
+//! run on a single worker so their speedup columns are not contaminated
+//! by host contention between concurrent jobs.
 
 use serde::{Deserialize, Serialize};
 
-use crate::batch::{run_batch, SimJob};
-use crate::config::SystemConfig;
 use crate::hybrid::HybridSpec;
-use crate::metrics;
 use crate::runner::{BaseModel, CoreModel};
 use crate::sampling::SamplingSpec;
+use crate::scenario::{MachineSpec, Record, ScenarioSpec, SweepSpec, Template};
 use crate::workload::WorkloadSpec;
 
 /// Instruction budget and seed for an experiment.
@@ -88,14 +90,37 @@ impl Fig4Variant {
         ]
     }
 
-    /// The system configuration implementing this variant.
+    /// The machine spec implementing this variant.
     #[must_use]
-    pub fn config(self) -> SystemConfig {
+    pub fn machine(self) -> MachineSpec {
         match self {
-            Fig4Variant::EffectiveDispatchRate => SystemConfig::fig4_effective_dispatch_rate(),
-            Fig4Variant::ICache => SystemConfig::fig4_icache(),
-            Fig4Variant::BranchPrediction => SystemConfig::fig4_branch_prediction(),
-            Fig4Variant::L2Cache => SystemConfig::fig4_l2(),
+            Fig4Variant::EffectiveDispatchRate => MachineSpec::fig4_effective_dispatch_rate(),
+            Fig4Variant::ICache => MachineSpec::fig4_icache(),
+            Fig4Variant::BranchPrediction => MachineSpec::fig4_branch_prediction(),
+            Fig4Variant::L2Cache => MachineSpec::fig4_l2(),
+        }
+    }
+
+    /// The system configuration implementing this variant.
+    ///
+    /// # Panics
+    ///
+    /// Never panics: the presets resolve by construction.
+    #[must_use]
+    pub fn config(self) -> crate::config::SystemConfig {
+        self.machine()
+            .resolve(1)
+            .expect("fig4 presets resolve by construction")
+    }
+
+    /// Stable slug used as the sweep name and in golden files.
+    #[must_use]
+    pub fn slug(self) -> &'static str {
+        match self {
+            Fig4Variant::EffectiveDispatchRate => "fig4-dispatch",
+            Fig4Variant::ICache => "fig4-icache",
+            Fig4Variant::BranchPrediction => "fig4-branch",
+            Fig4Variant::L2Cache => "fig4-l2",
         }
     }
 
@@ -111,431 +136,260 @@ impl Fig4Variant {
     }
 }
 
-/// One bar pair of an IPC-accuracy figure (Figures 4 and 5).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct AccuracyRow {
-    /// Benchmark name.
-    pub benchmark: String,
-    /// IPC measured by detailed simulation.
-    pub detailed_ipc: f64,
-    /// IPC estimated by interval simulation.
-    pub interval_ipc: f64,
+/// The two timing models the accuracy figures compare.
+const DETAILED_VS_INTERVAL: [CoreModel; 2] = [CoreModel::Detailed, CoreModel::Interval];
+
+fn benchmarks_owned(benchmarks: &[&str]) -> Vec<String> {
+    benchmarks.iter().map(|b| (*b).to_string()).collect()
 }
 
-impl AccuracyRow {
-    /// Relative IPC error of the interval estimate.
-    #[must_use]
-    pub fn error(&self) -> f64 {
-        metrics::relative_error(self.interval_ipc, self.detailed_ipc)
+/// A one-template sweep skeleton.
+fn sweep(name: &str, workload: WorkloadSpec, machine: MachineSpec, seed: u64) -> SweepSpec {
+    let mut base = ScenarioSpec::new(workload, seed);
+    base.machine = machine;
+    SweepSpec::new(name, base)
+}
+
+/// `core_counts` with a leading 1 (the single-core reference point the
+/// STP/ANTT and normalized-time views divide by), deduplicated.
+fn with_unit_reference(core_counts: &[usize]) -> Vec<usize> {
+    let mut cores = vec![1];
+    for &c in core_counts {
+        if !cores.contains(&c) {
+            cores.push(c);
+        }
     }
+    cores
 }
 
-/// One group of Figure 6: a benchmark at a copy count.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct Fig6Row {
-    /// Benchmark name.
-    pub benchmark: String,
-    /// Number of co-running copies (= cores).
-    pub copies: usize,
-    /// STP measured by detailed simulation.
-    pub detailed_stp: f64,
-    /// STP estimated by interval simulation.
-    pub interval_stp: f64,
-    /// ANTT measured by detailed simulation.
-    pub detailed_antt: f64,
-    /// ANTT estimated by interval simulation.
-    pub interval_antt: f64,
-}
-
-impl Fig6Row {
-    /// Relative STP error of the interval estimate.
-    #[must_use]
-    pub fn stp_error(&self) -> f64 {
-        metrics::relative_error(self.interval_stp, self.detailed_stp)
-    }
-
-    /// Relative ANTT error of the interval estimate.
-    #[must_use]
-    pub fn antt_error(&self) -> f64 {
-        metrics::relative_error(self.interval_antt, self.detailed_antt)
-    }
-}
-
-/// One bar group of Figure 7: a PARSEC benchmark at a core count, with
-/// execution times normalized to the detailed single-core run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct Fig7Row {
-    /// Benchmark name.
-    pub benchmark: String,
-    /// Number of cores (= threads).
-    pub cores: usize,
-    /// Detailed execution time normalized to the detailed 1-core run.
-    pub detailed_normalized_time: f64,
-    /// Interval execution time normalized to the detailed 1-core run.
-    pub interval_normalized_time: f64,
-}
-
-impl Fig7Row {
-    /// Relative execution-time error of the interval estimate.
-    #[must_use]
-    pub fn error(&self) -> f64 {
-        metrics::relative_error(self.interval_normalized_time, self.detailed_normalized_time)
-    }
-}
-
-/// One bar group of Figure 8: a PARSEC benchmark on one of the two 3D-stacking
-/// design points, normalized to the detailed run of the dual-core + L2 design.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct Fig8Row {
-    /// Benchmark name.
-    pub benchmark: String,
-    /// Design-point label (`"2 cores + L2"` or `"4 cores + 3D"`).
-    pub design: String,
-    /// Detailed execution time, normalized.
-    pub detailed_normalized_time: f64,
-    /// Interval execution time, normalized.
-    pub interval_normalized_time: f64,
-}
-
-/// One bar of a simulation-speedup figure (Figures 9 and 10).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct SpeedupRow {
-    /// Benchmark name.
-    pub benchmark: String,
-    /// Number of cores.
-    pub cores: usize,
-    /// Host-time speedup of interval over detailed simulation.
-    pub speedup: f64,
-    /// Host seconds of the detailed run.
-    pub detailed_seconds: f64,
-    /// Host seconds of the interval run.
-    pub interval_seconds: f64,
-}
-
-/// Job for one single-threaded benchmark on the given configuration.
-fn single_job(
-    model: CoreModel,
-    config: &SystemConfig,
-    benchmark: &str,
-    scale: ExperimentScale,
-) -> SimJob {
-    let spec = WorkloadSpec::single(benchmark, scale.spec_length);
-    SimJob::new(model, *config, spec, scale.seed)
-}
-
-/// Job for `copies` co-running copies of one SPEC benchmark.
-fn homogeneous_job(
-    model: CoreModel,
-    benchmark: &str,
-    copies: usize,
-    scale: ExperimentScale,
-) -> SimJob {
-    let config = SystemConfig::hpca2010_baseline(copies);
-    let spec = WorkloadSpec::homogeneous(benchmark, copies, scale.spec_length);
-    SimJob::new(model, config, spec, scale.seed)
-}
-
-/// Job for one multi-threaded PARSEC benchmark on `threads` cores.
-fn multithreaded_job(
-    model: CoreModel,
-    benchmark: &str,
-    threads: usize,
-    scale: ExperimentScale,
-) -> SimJob {
-    let config = SystemConfig::hpca2010_baseline(threads);
-    let spec = WorkloadSpec::multithreaded(benchmark, threads, scale.parsec_length);
-    SimJob::new(model, config, spec, scale.seed)
-}
-
-/// Shared shape of Figures 4 and 5: one (detailed, interval) job pair per
-/// benchmark, all on the same configuration.
-fn accuracy_rows(
-    config: &SystemConfig,
-    benchmarks: &[&str],
-    scale: ExperimentScale,
-) -> Vec<AccuracyRow> {
-    let jobs: Vec<SimJob> = benchmarks
-        .iter()
-        .flat_map(|b| {
-            [
-                single_job(CoreModel::Detailed, config, b, scale),
-                single_job(CoreModel::Interval, config, b, scale),
-            ]
-        })
-        .collect();
-    let out = run_batch(&jobs);
-    benchmarks
-        .iter()
-        .zip(out.chunks_exact(2))
-        .map(|(b, pair)| AccuracyRow {
-            benchmark: (*b).to_string(),
-            detailed_ipc: pair[0].core_ipc(0),
-            interval_ipc: pair[1].core_ipc(0),
-        })
-        .collect()
+/// Figure 4 as a declarative sweep: the component-isolation machine of the
+/// variant, detailed vs interval, one group per benchmark.
+#[must_use]
+pub fn fig4_sweep(variant: Fig4Variant, benchmarks: &[&str], scale: ExperimentScale) -> SweepSpec {
+    let mut s = sweep(
+        variant.slug(),
+        WorkloadSpec::single(
+            benchmarks.first().copied().unwrap_or("gcc"),
+            scale.spec_length,
+        ),
+        variant.machine(),
+        scale.seed,
+    );
+    s.benchmarks = benchmarks_owned(benchmarks);
+    s.models = DETAILED_VS_INTERVAL.to_vec();
+    s
 }
 
 /// Figure 4: component-wise accuracy of interval simulation for one variant.
+///
+/// # Panics
+///
+/// Panics when the sweep fails to validate (unknown benchmark).
 #[must_use]
-pub fn fig4(variant: Fig4Variant, benchmarks: &[&str], scale: ExperimentScale) -> Vec<AccuracyRow> {
-    accuracy_rows(&variant.config(), benchmarks, scale)
+pub fn fig4(variant: Fig4Variant, benchmarks: &[&str], scale: ExperimentScale) -> Vec<Record> {
+    run_sweep(fig4_sweep(variant, benchmarks, scale))
+}
+
+/// Figure 5 as a declarative sweep: the Table 1 baseline, detailed vs
+/// interval, one group per benchmark.
+#[must_use]
+pub fn fig5_sweep(benchmarks: &[&str], scale: ExperimentScale) -> SweepSpec {
+    let mut s = sweep(
+        "fig5",
+        WorkloadSpec::single(
+            benchmarks.first().copied().unwrap_or("gcc"),
+            scale.spec_length,
+        ),
+        MachineSpec::hpca2010(),
+        scale.seed,
+    );
+    s.benchmarks = benchmarks_owned(benchmarks);
+    s.models = DETAILED_VS_INTERVAL.to_vec();
+    s
 }
 
 /// Figure 5: overall single-threaded accuracy (all structures real).
+///
+/// # Panics
+///
+/// Panics when the sweep fails to validate (unknown benchmark).
 #[must_use]
-pub fn fig5(benchmarks: &[&str], scale: ExperimentScale) -> Vec<AccuracyRow> {
-    accuracy_rows(&SystemConfig::hpca2010_baseline(1), benchmarks, scale)
+pub fn fig5(benchmarks: &[&str], scale: ExperimentScale) -> Vec<Record> {
+    run_sweep(fig5_sweep(benchmarks, scale))
+}
+
+/// Figure 6 as a declarative sweep: homogeneous multi-program workloads
+/// over a copy-count axis (with the single-program baseline always
+/// included), detailed vs interval.
+#[must_use]
+pub fn fig6_sweep(benchmarks: &[&str], copy_counts: &[usize], scale: ExperimentScale) -> SweepSpec {
+    let mut s = sweep(
+        "fig6",
+        WorkloadSpec::homogeneous(
+            benchmarks.first().copied().unwrap_or("gcc"),
+            1,
+            scale.spec_length,
+        ),
+        MachineSpec::hpca2010(),
+        scale.seed,
+    );
+    s.benchmarks = benchmarks_owned(benchmarks);
+    s.cores = with_unit_reference(copy_counts);
+    s.models = DETAILED_VS_INTERVAL.to_vec();
+    s
 }
 
 /// Figure 6: STP and ANTT of homogeneous multi-program workloads as a
-/// function of the number of co-running copies.
+/// function of the number of co-running copies (derive the metrics with
+/// [`crate::report::stp_antt_rows`]).
 ///
-/// Per benchmark the job list carries the two single-program baselines
-/// (C_i^SP per model) followed by a (detailed, interval) pair per copy
-/// count.
+/// # Panics
+///
+/// Panics when the sweep fails to validate (unknown benchmark).
 #[must_use]
-pub fn fig6(benchmarks: &[&str], copy_counts: &[usize], scale: ExperimentScale) -> Vec<Fig6Row> {
-    let mut jobs = Vec::new();
-    for benchmark in benchmarks {
-        jobs.push(homogeneous_job(CoreModel::Detailed, benchmark, 1, scale));
-        jobs.push(homogeneous_job(CoreModel::Interval, benchmark, 1, scale));
-        for &copies in copy_counts {
-            jobs.push(homogeneous_job(
-                CoreModel::Detailed,
-                benchmark,
-                copies,
-                scale,
-            ));
-            jobs.push(homogeneous_job(
-                CoreModel::Interval,
-                benchmark,
-                copies,
-                scale,
-            ));
-        }
-    }
-    let out = run_batch(&jobs);
-    let stride = 2 + 2 * copy_counts.len();
-    let mut rows = Vec::with_capacity(benchmarks.len() * copy_counts.len());
-    for (bi, benchmark) in benchmarks.iter().enumerate() {
-        let base = bi * stride;
-        let detailed_single = out[base].per_core[0].cycles;
-        let interval_single = out[base + 1].per_core[0].cycles;
-        for (ci, &copies) in copy_counts.iter().enumerate() {
-            let detailed = &out[base + 2 + 2 * ci];
-            let interval = &out[base + 2 + 2 * ci + 1];
-            let d_single: Vec<u64> = vec![detailed_single; copies];
-            let i_single: Vec<u64> = vec![interval_single; copies];
-            let d_multi: Vec<u64> = detailed.per_core.iter().map(|c| c.cycles).collect();
-            let i_multi: Vec<u64> = interval.per_core.iter().map(|c| c.cycles).collect();
-            rows.push(Fig6Row {
-                benchmark: (*benchmark).to_string(),
-                copies,
-                detailed_stp: metrics::stp(&d_single, &d_multi),
-                interval_stp: metrics::stp(&i_single, &i_multi),
-                detailed_antt: metrics::antt(&d_single, &d_multi),
-                interval_antt: metrics::antt(&i_single, &i_multi),
-            });
-        }
-    }
-    rows
+pub fn fig6(benchmarks: &[&str], copy_counts: &[usize], scale: ExperimentScale) -> Vec<Record> {
+    run_sweep(fig6_sweep(benchmarks, copy_counts, scale))
+}
+
+/// Figure 7 as a declarative sweep: multi-threaded PARSEC workloads over a
+/// core-count axis (single-core reference included), detailed vs interval.
+#[must_use]
+pub fn fig7_sweep(benchmarks: &[&str], core_counts: &[usize], scale: ExperimentScale) -> SweepSpec {
+    let mut s = sweep(
+        "fig7",
+        WorkloadSpec::multithreaded(
+            benchmarks.first().copied().unwrap_or("vips"),
+            1,
+            scale.parsec_length,
+        ),
+        MachineSpec::hpca2010(),
+        scale.seed,
+    );
+    s.benchmarks = benchmarks_owned(benchmarks);
+    s.cores = with_unit_reference(core_counts);
+    s.models = DETAILED_VS_INTERVAL.to_vec();
+    s
 }
 
 /// Figure 7: normalized execution time of the multi-threaded PARSEC
-/// workloads as a function of the number of cores. Times are normalized to
-/// the detailed single-core run of the same benchmark, exactly as in the
-/// paper.
+/// workloads as a function of the number of cores (derive the normalized
+/// times with [`crate::report::format_normalized_table`]).
 ///
-/// Per benchmark the job list carries the detailed single-core reference run
-/// followed by a (detailed, interval) pair per core count.
+/// # Panics
+///
+/// Panics when the sweep fails to validate (unknown benchmark).
 #[must_use]
-pub fn fig7(benchmarks: &[&str], core_counts: &[usize], scale: ExperimentScale) -> Vec<Fig7Row> {
-    let mut jobs = Vec::new();
-    for benchmark in benchmarks {
-        jobs.push(multithreaded_job(CoreModel::Detailed, benchmark, 1, scale));
-        for &cores in core_counts {
-            jobs.push(multithreaded_job(
-                CoreModel::Detailed,
-                benchmark,
-                cores,
-                scale,
-            ));
-            jobs.push(multithreaded_job(
-                CoreModel::Interval,
-                benchmark,
-                cores,
-                scale,
-            ));
-        }
-    }
-    let out = run_batch(&jobs);
-    let stride = 1 + 2 * core_counts.len();
-    let mut rows = Vec::with_capacity(benchmarks.len() * core_counts.len());
-    for (bi, benchmark) in benchmarks.iter().enumerate() {
-        let base = bi * stride;
-        let reference = out[base].cycles;
-        for (ci, &cores) in core_counts.iter().enumerate() {
-            let detailed = &out[base + 1 + 2 * ci];
-            let interval = &out[base + 1 + 2 * ci + 1];
-            rows.push(Fig7Row {
-                benchmark: (*benchmark).to_string(),
-                cores,
-                detailed_normalized_time: metrics::normalized_time(detailed.cycles, reference),
-                interval_normalized_time: metrics::normalized_time(interval.cycles, reference),
-            });
-        }
-    }
-    rows
+pub fn fig7(benchmarks: &[&str], core_counts: &[usize], scale: ExperimentScale) -> Vec<Record> {
+    run_sweep(fig7_sweep(benchmarks, core_counts, scale))
 }
 
-/// Figure 8: the 3D-stacking case study. Each benchmark runs on the two
-/// design points (dual-core + 4 MB L2 + external DRAM vs quad-core + no L2 +
-/// 3D-stacked DRAM); execution times are normalized to the detailed run of
-/// the dual-core design.
+/// The variant labels of Figure 8's two design points.
+pub const FIG8_DUAL_VARIANT: &str = "2 cores + L2";
+/// The variant label of Figure 8's quad-core 3D-stacked design point.
+pub const FIG8_QUAD_VARIANT: &str = "4 cores + 3D";
+
+/// Figure 8 as a declarative sweep: two explicit design-point templates
+/// (dual-core + L2 + external DRAM vs quad-core + no L2 + 3D-stacked
+/// DRAM), detailed vs interval, one group per benchmark.
 #[must_use]
-pub fn fig8(benchmarks: &[&str], scale: ExperimentScale) -> Vec<Fig8Row> {
-    let dual = SystemConfig::fig8_dual_core_l2();
-    let quad = SystemConfig::fig8_quad_core_3d();
-    let jobs: Vec<SimJob> = benchmarks
-        .iter()
-        .flat_map(|benchmark| {
-            let spec_dual = WorkloadSpec::multithreaded(benchmark, 2, scale.parsec_length);
-            let spec_quad = WorkloadSpec::multithreaded(benchmark, 4, scale.parsec_length);
-            [
-                SimJob::new(CoreModel::Detailed, dual, spec_dual.clone(), scale.seed),
-                SimJob::new(CoreModel::Interval, dual, spec_dual, scale.seed),
-                SimJob::new(CoreModel::Detailed, quad, spec_quad.clone(), scale.seed),
-                SimJob::new(CoreModel::Interval, quad, spec_quad, scale.seed),
-            ]
-        })
-        .collect();
-    let out = run_batch(&jobs);
-    let mut rows = Vec::with_capacity(benchmarks.len() * 2);
-    for (benchmark, group) in benchmarks.iter().zip(out.chunks_exact(4)) {
-        let (d_dual, i_dual, d_quad, i_quad) = (&group[0], &group[1], &group[2], &group[3]);
-        let reference = d_dual.cycles;
-        rows.push(Fig8Row {
-            benchmark: (*benchmark).to_string(),
-            design: "2 cores + L2".to_string(),
-            detailed_normalized_time: metrics::normalized_time(d_dual.cycles, reference),
-            interval_normalized_time: metrics::normalized_time(i_dual.cycles, reference),
-        });
-        rows.push(Fig8Row {
-            benchmark: (*benchmark).to_string(),
-            design: "4 cores + 3D".to_string(),
-            detailed_normalized_time: metrics::normalized_time(d_quad.cycles, reference),
-            interval_normalized_time: metrics::normalized_time(i_quad.cycles, reference),
-        });
-    }
-    rows
+pub fn fig8_sweep(benchmarks: &[&str], scale: ExperimentScale) -> SweepSpec {
+    let first = benchmarks.first().copied().unwrap_or("vips");
+    let mut s = sweep(
+        "fig8",
+        WorkloadSpec::multithreaded(first, 2, scale.parsec_length),
+        MachineSpec::fig8_dual_core_l2(),
+        scale.seed,
+    );
+    s.templates[0].variant = Some(FIG8_DUAL_VARIANT.to_string());
+    s.templates.push(Template {
+        variant: Some(FIG8_QUAD_VARIANT.to_string()),
+        machine: MachineSpec::fig8_quad_core_3d(),
+        workload: WorkloadSpec::multithreaded(first, 4, scale.parsec_length),
+        model: CoreModel::Interval,
+        seed: scale.seed,
+    });
+    s.benchmarks = benchmarks_owned(benchmarks);
+    s.models = DETAILED_VS_INTERVAL.to_vec();
+    s
 }
 
-/// Shared shape of Figures 9 and 10: one (detailed, interval) job pair per
-/// (benchmark, core count); the row reports the host-time speedup.
-fn speedup_rows(benchmarks: &[&str], core_counts: &[usize], jobs: Vec<SimJob>) -> Vec<SpeedupRow> {
-    let out = run_batch(&jobs);
-    let mut rows = Vec::with_capacity(benchmarks.len() * core_counts.len());
-    let mut pairs = out.chunks_exact(2);
-    for benchmark in benchmarks {
-        for &cores in core_counts {
-            let pair = pairs.next().expect("one job pair per (benchmark, cores)");
-            let (detailed, interval) = (&pair[0], &pair[1]);
-            rows.push(SpeedupRow {
-                benchmark: (*benchmark).to_string(),
-                cores,
-                speedup: metrics::simulation_speedup(detailed.host_seconds, interval.host_seconds),
-                detailed_seconds: detailed.host_seconds,
-                interval_seconds: interval.host_seconds,
-            });
-        }
-    }
-    rows
+/// Figure 8: the 3D-stacking case study (normalize with
+/// [`crate::report::format_normalized_table`] against the dual-core
+/// detailed variant).
+///
+/// # Panics
+///
+/// Panics when the sweep fails to validate (unknown benchmark).
+#[must_use]
+pub fn fig8(benchmarks: &[&str], scale: ExperimentScale) -> Vec<Record> {
+    run_sweep(fig8_sweep(benchmarks, scale))
+}
+
+/// Figure 9 as a declarative sweep: homogeneous SPEC multi-program
+/// workloads over a core-count axis, detailed vs interval (the speedup
+/// columns of the comparison view are the figure).
+#[must_use]
+pub fn fig9_sweep(benchmarks: &[&str], core_counts: &[usize], scale: ExperimentScale) -> SweepSpec {
+    let mut s = sweep(
+        "fig9",
+        WorkloadSpec::homogeneous(
+            benchmarks.first().copied().unwrap_or("gcc"),
+            core_counts.first().copied().unwrap_or(1),
+            scale.spec_length,
+        ),
+        MachineSpec::hpca2010(),
+        scale.seed,
+    );
+    s.benchmarks = benchmarks_owned(benchmarks);
+    s.cores = core_counts.to_vec();
+    s.models = DETAILED_VS_INTERVAL.to_vec();
+    s
 }
 
 /// Figure 9: simulation speedup of interval over detailed simulation for
 /// homogeneous SPEC multi-program workloads.
+///
+/// # Panics
+///
+/// Panics when the sweep fails to validate (unknown benchmark).
 #[must_use]
-pub fn fig9(benchmarks: &[&str], core_counts: &[usize], scale: ExperimentScale) -> Vec<SpeedupRow> {
-    let mut jobs = Vec::new();
-    for benchmark in benchmarks {
-        for &cores in core_counts {
-            jobs.push(homogeneous_job(
-                CoreModel::Detailed,
-                benchmark,
-                cores,
-                scale,
-            ));
-            jobs.push(homogeneous_job(
-                CoreModel::Interval,
-                benchmark,
-                cores,
-                scale,
-            ));
-        }
-    }
-    speedup_rows(benchmarks, core_counts, jobs)
+pub fn fig9(benchmarks: &[&str], core_counts: &[usize], scale: ExperimentScale) -> Vec<Record> {
+    run_sweep(fig9_sweep(benchmarks, core_counts, scale))
+}
+
+/// Figure 10 as a declarative sweep: multi-threaded PARSEC workloads over
+/// a core-count axis, detailed vs interval.
+#[must_use]
+pub fn fig10_sweep(
+    benchmarks: &[&str],
+    core_counts: &[usize],
+    scale: ExperimentScale,
+) -> SweepSpec {
+    let mut s = sweep(
+        "fig10",
+        WorkloadSpec::multithreaded(
+            benchmarks.first().copied().unwrap_or("vips"),
+            core_counts.first().copied().unwrap_or(1),
+            scale.parsec_length,
+        ),
+        MachineSpec::hpca2010(),
+        scale.seed,
+    );
+    s.benchmarks = benchmarks_owned(benchmarks);
+    s.cores = core_counts.to_vec();
+    s.models = DETAILED_VS_INTERVAL.to_vec();
+    s
 }
 
 /// Figure 10: simulation speedup of interval over detailed simulation for
 /// the multi-threaded PARSEC workloads.
+///
+/// # Panics
+///
+/// Panics when the sweep fails to validate (unknown benchmark).
 #[must_use]
-pub fn fig10(
-    benchmarks: &[&str],
-    core_counts: &[usize],
-    scale: ExperimentScale,
-) -> Vec<SpeedupRow> {
-    let mut jobs = Vec::new();
-    for benchmark in benchmarks {
-        for &cores in core_counts {
-            jobs.push(multithreaded_job(
-                CoreModel::Detailed,
-                benchmark,
-                cores,
-                scale,
-            ));
-            jobs.push(multithreaded_job(
-                CoreModel::Interval,
-                benchmark,
-                cores,
-                scale,
-            ));
-        }
-    }
-    speedup_rows(benchmarks, core_counts, jobs)
-}
-
-/// One point of the hybrid speed-vs-accuracy frontier: a benchmark under one
-/// swap policy, against the pure-detailed reference.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct HybridFrontierRow {
-    /// Benchmark name.
-    pub benchmark: String,
-    /// Stable policy label (`always-interval@2000`, `periodic-4@2000`, ...).
-    pub policy: String,
-    /// CPI measured by pure detailed simulation (the reference).
-    pub detailed_cpi: f64,
-    /// CPI estimated by the hybrid run.
-    pub hybrid_cpi: f64,
-    /// Host seconds of the pure detailed run.
-    pub detailed_seconds: f64,
-    /// Host seconds of the hybrid run.
-    pub hybrid_seconds: f64,
-    /// Model swaps the controller performed.
-    pub swaps: u64,
-}
-
-impl HybridFrontierRow {
-    /// Relative CPI error of the hybrid estimate against pure detailed.
-    #[must_use]
-    pub fn cpi_error(&self) -> f64 {
-        metrics::relative_error(self.hybrid_cpi, self.detailed_cpi)
-    }
-
-    /// Host-time speedup of the hybrid run over pure detailed.
-    #[must_use]
-    pub fn speedup(&self) -> f64 {
-        metrics::simulation_speedup(self.detailed_seconds, self.hybrid_seconds)
-    }
+pub fn fig10(benchmarks: &[&str], core_counts: &[usize], scale: ExperimentScale) -> Vec<Record> {
+    run_sweep(fig10_sweep(benchmarks, core_counts, scale))
 }
 
 /// The default policy sweep of the hybrid frontier: pin-interval (the fast
@@ -552,121 +406,54 @@ pub fn default_hybrid_policies(scale: ExperimentScale) -> Vec<HybridSpec> {
     ]
 }
 
-/// The hybrid experiment: per benchmark, one pure-detailed reference run and
-/// one hybrid run per policy; each `(benchmark, policy)` pair yields one
-/// speed-vs-CPI-error frontier row.
+/// The hybrid frontier as a declarative sweep: per benchmark, a
+/// pure-detailed reference variant plus one hybrid variant per policy.
+#[must_use]
+pub fn hybrid_sweep(
+    benchmarks: &[&str],
+    policies: &[HybridSpec],
+    scale: ExperimentScale,
+) -> SweepSpec {
+    let mut s = sweep(
+        "hybrid",
+        WorkloadSpec::single(
+            benchmarks.first().copied().unwrap_or("gcc"),
+            scale.spec_length,
+        ),
+        MachineSpec::hpca2010(),
+        scale.seed,
+    );
+    s.benchmarks = benchmarks_owned(benchmarks);
+    s.models = std::iter::once(CoreModel::Detailed)
+        .chain(policies.iter().map(|&p| CoreModel::Hybrid(p)))
+        .collect();
+    s
+}
+
+/// The hybrid experiment: per benchmark, one pure-detailed reference run
+/// and one hybrid run per policy; each `(benchmark, policy)` record pairs
+/// with its group's detailed record into one speed-vs-CPI-error frontier
+/// point.
 ///
 /// Unlike the other drivers this one runs its jobs on a **single** batch
 /// worker regardless of `ISS_THREADS`: the frontier's speedup column
 /// compares the reference and hybrid wall-clocks, and concurrent jobs
 /// time-slicing against each other would contaminate exactly that
-/// measurement (same rationale as the `perf` bin's single-worker MIPS
-/// numbers). The simulated columns are `ISS_THREADS`-invariant either way.
+/// measurement. The simulated columns are `ISS_THREADS`-invariant either
+/// way.
+///
+/// # Panics
+///
+/// Panics when the sweep fails to validate (unknown benchmark).
 #[must_use]
 pub fn fig_hybrid(
     benchmarks: &[&str],
     policies: &[HybridSpec],
     scale: ExperimentScale,
-) -> Vec<HybridFrontierRow> {
-    let config = SystemConfig::hpca2010_baseline(1);
-    let jobs: Vec<SimJob> =
-        benchmarks
-            .iter()
-            .flat_map(|b| {
-                let spec = WorkloadSpec::single(b, scale.spec_length);
-                std::iter::once(SimJob::new(
-                    CoreModel::Detailed,
-                    config,
-                    spec.clone(),
-                    scale.seed,
-                ))
-                .chain(policies.iter().map(move |p| {
-                    SimJob::new(CoreModel::Hybrid(*p), config, spec.clone(), scale.seed)
-                }))
-                .collect::<Vec<_>>()
-            })
-            .collect();
-    let out = crate::batch::run_batch_with_threads(&jobs, 1);
-    let stride = 1 + policies.len();
-    let mut rows = Vec::with_capacity(benchmarks.len() * policies.len());
-    for (bi, benchmark) in benchmarks.iter().enumerate() {
-        let detailed = &out[bi * stride];
-        let detailed_cpi = detailed.cycles as f64 / detailed.total_instructions.max(1) as f64;
-        for (pi, policy) in policies.iter().enumerate() {
-            let hybrid = &out[bi * stride + 1 + pi];
-            rows.push(HybridFrontierRow {
-                benchmark: (*benchmark).to_string(),
-                policy: policy.label(),
-                detailed_cpi,
-                hybrid_cpi: hybrid.cycles as f64 / hybrid.total_instructions.max(1) as f64,
-                detailed_seconds: detailed.host_seconds,
-                hybrid_seconds: hybrid.host_seconds,
-                swaps: hybrid.swaps,
-            });
-        }
-    }
-    rows
-}
-
-/// One point of the sampled-simulation frontier: a benchmark under one
-/// sampling spec, against the pure-detailed and pure-interval references.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct SamplingFrontierRow {
-    /// Benchmark name.
-    pub benchmark: String,
-    /// Stable sampling-spec label (`sampled-detailed-1in10@500w100`, ...).
-    pub spec_label: String,
-    /// CPI measured by pure detailed simulation (the reference).
-    pub detailed_cpi: f64,
-    /// CPI estimated by pure interval simulation (the speed extreme the
-    /// paper contributes).
-    pub interval_cpi: f64,
-    /// CPI extrapolated by the sampled run.
-    pub sampled_cpi: f64,
-    /// Half-width of the sampled run's 95% confidence interval.
-    pub ci95_half_width: f64,
-    /// Units that contributed a CPI sample.
-    pub units_measured: u64,
-    /// Host seconds of the pure detailed run.
-    pub detailed_seconds: f64,
-    /// Host seconds of the pure interval run.
-    pub interval_seconds: f64,
-    /// Host seconds of the sampled run.
-    pub sampled_seconds: f64,
-}
-
-impl SamplingFrontierRow {
-    /// Relative CPI error of the sampled estimate against pure detailed.
-    #[must_use]
-    pub fn cpi_error(&self) -> f64 {
-        metrics::relative_error(self.sampled_cpi, self.detailed_cpi)
-    }
-
-    /// Relative CPI error of pure interval simulation against pure detailed
-    /// (the no-confidence-information alternative).
-    #[must_use]
-    pub fn interval_cpi_error(&self) -> f64 {
-        metrics::relative_error(self.interval_cpi, self.detailed_cpi)
-    }
-
-    /// Host-time speedup of the sampled run over pure detailed.
-    #[must_use]
-    pub fn speedup(&self) -> f64 {
-        metrics::simulation_speedup(self.detailed_seconds, self.sampled_seconds)
-    }
-
-    /// Host-time speedup of pure interval over pure detailed.
-    #[must_use]
-    pub fn interval_speedup(&self) -> f64 {
-        metrics::simulation_speedup(self.detailed_seconds, self.interval_seconds)
-    }
-
-    /// Whether the reported 95% interval brackets the pure-detailed CPI.
-    #[must_use]
-    pub fn ci_brackets_detailed(&self) -> bool {
-        (self.sampled_cpi - self.ci95_half_width) <= self.detailed_cpi
-            && self.detailed_cpi <= (self.sampled_cpi + self.ci95_half_width)
-    }
+) -> Vec<Record> {
+    hybrid_sweep(benchmarks, policies, scale)
+        .run_with_threads(1)
+        .unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// The default sampling sweep of the frontier: a sparse and a dense
@@ -703,10 +490,36 @@ pub fn sampling_length(scale: ExperimentScale) -> u64 {
     scale.spec_length.saturating_mul(5)
 }
 
+/// The sampled-simulation frontier as a declarative sweep: per benchmark,
+/// pure-detailed and pure-interval reference variants plus one sampled
+/// variant per spec.
+#[must_use]
+pub fn sampling_sweep(
+    benchmarks: &[&str],
+    specs: &[SamplingSpec],
+    scale: ExperimentScale,
+) -> SweepSpec {
+    let mut s = sweep(
+        "sampling",
+        WorkloadSpec::single(
+            benchmarks.first().copied().unwrap_or("gcc"),
+            sampling_length(scale),
+        ),
+        MachineSpec::hpca2010(),
+        scale.seed,
+    );
+    s.benchmarks = benchmarks_owned(benchmarks);
+    s.models = [CoreModel::Detailed, CoreModel::Interval]
+        .into_iter()
+        .chain(specs.iter().map(|&sp| CoreModel::Sampled(sp)))
+        .collect();
+    s
+}
+
 /// The sampled-simulation experiment: per benchmark, one pure-detailed and
 /// one pure-interval reference run plus one sampled run per spec; each
-/// `(benchmark, spec)` pair yields one speed-vs-error-vs-confidence
-/// frontier row.
+/// `(benchmark, spec)` record pairs with its group's references into one
+/// speed-vs-error-vs-confidence frontier point.
 ///
 /// Like [`fig_hybrid`] this runs its jobs on a **single** batch worker
 /// regardless of `ISS_THREADS`, because the frontier compares wall-clocks;
@@ -714,144 +527,96 @@ pub fn sampling_length(scale: ExperimentScale) -> u64 {
 ///
 /// # Panics
 ///
-/// Panics if a sampled run comes back without its statistical estimate
-/// (impossible for summaries produced by `CoreModel::Sampled` jobs).
+/// Panics when the sweep fails to validate (unknown benchmark).
 #[must_use]
 pub fn fig_sampling(
     benchmarks: &[&str],
     specs: &[SamplingSpec],
     scale: ExperimentScale,
-) -> Vec<SamplingFrontierRow> {
-    let config = SystemConfig::hpca2010_baseline(1);
-    let budget = sampling_length(scale);
-    let jobs: Vec<SimJob> = benchmarks
-        .iter()
-        .flat_map(|b| {
-            let spec = WorkloadSpec::single(b, budget);
-            [
-                SimJob::new(CoreModel::Detailed, config, spec.clone(), scale.seed),
-                SimJob::new(CoreModel::Interval, config, spec.clone(), scale.seed),
-            ]
-            .into_iter()
-            .chain(specs.iter().map(move |s| {
-                SimJob::new(CoreModel::Sampled(*s), config, spec.clone(), scale.seed)
-            }))
-            .collect::<Vec<_>>()
-        })
-        .collect();
-    let out = crate::batch::run_batch_with_threads(&jobs, 1);
-    let stride = 2 + specs.len();
-    let cpi_of =
-        |s: &crate::runner::SimSummary| s.cycles as f64 / s.total_instructions.max(1) as f64;
-    let mut rows = Vec::with_capacity(benchmarks.len() * specs.len());
-    for (bi, benchmark) in benchmarks.iter().enumerate() {
-        let detailed = &out[bi * stride];
-        let interval = &out[bi * stride + 1];
-        for (si, spec) in specs.iter().enumerate() {
-            let sampled = &out[bi * stride + 2 + si];
-            let est = sampled
-                .sampling
-                .expect("sampled summaries carry an estimate");
-            rows.push(SamplingFrontierRow {
-                benchmark: (*benchmark).to_string(),
-                spec_label: spec.label(),
-                detailed_cpi: cpi_of(detailed),
-                interval_cpi: cpi_of(interval),
-                sampled_cpi: est.cpi,
-                ci95_half_width: est.ci95_half_width,
-                units_measured: est.units_measured,
-                detailed_seconds: detailed.host_seconds,
-                interval_seconds: interval.host_seconds,
-                sampled_seconds: sampled.host_seconds,
-            });
-        }
-    }
-    rows
+) -> Vec<Record> {
+    sampling_sweep(benchmarks, specs, scale)
+        .run_with_threads(1)
+        .unwrap_or_else(|e| panic!("{e}"))
 }
 
-/// One row of the ablation study: how much accuracy each modeling ingredient
-/// of interval simulation contributes, relative to detailed simulation.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct AblationRow {
-    /// Benchmark name.
-    pub benchmark: String,
-    /// IPC from detailed simulation (the reference).
-    pub detailed_ipc: f64,
-    /// IPC from the full interval model.
-    pub interval_ipc: f64,
-    /// IPC from the interval model without second-order overlap effects
-    /// (first-order only, as in prior interval-analysis work).
-    pub no_overlap_ipc: f64,
-    /// IPC from the interval model without emptying the old window on miss
-    /// events (no interval-length dependence).
-    pub no_reset_ipc: f64,
-    /// IPC from the one-IPC model (the simplification the paper argues
-    /// against).
-    pub one_ipc_ipc: f64,
-}
+/// The variant labels of the ablation study, in row order: the detailed
+/// reference, the full interval model, and the three degradations.
+pub const ABLATION_VARIANTS: [&str; 5] = [
+    "detailed",
+    "interval",
+    "interval-no-overlap",
+    "interval-no-ow-reset",
+    "one-ipc",
+];
 
-impl AblationRow {
-    /// Relative error of each variant against detailed simulation, in the
-    /// order (full interval, no overlap, no old-window reset, one-IPC).
-    #[must_use]
-    pub fn errors(&self) -> [f64; 4] {
-        [
-            metrics::relative_error(self.interval_ipc, self.detailed_ipc),
-            metrics::relative_error(self.no_overlap_ipc, self.detailed_ipc),
-            metrics::relative_error(self.no_reset_ipc, self.detailed_ipc),
-            metrics::relative_error(self.one_ipc_ipc, self.detailed_ipc),
-        ]
-    }
-}
-
-/// Ablation study over the interval model's design choices (DESIGN.md §7):
-/// second-order overlap modeling and the old-window reset, compared against
-/// the one-IPC baseline, for single-threaded workloads.
+/// The ablation study as a declarative sweep: five explicit
+/// (model, machine) variant templates per benchmark — exactly the shape a
+/// cartesian product cannot express and the template list exists for.
 #[must_use]
-pub fn ablation(benchmarks: &[&str], scale: ExperimentScale) -> Vec<AblationRow> {
-    let baseline = SystemConfig::hpca2010_baseline(1);
-    let mut no_overlap_cfg = baseline;
-    no_overlap_cfg.interval_core = no_overlap_cfg.interval_core.without_overlap_effects();
-    let mut no_reset_cfg = baseline;
-    no_reset_cfg.interval_core = no_reset_cfg.interval_core.without_old_window_reset();
+pub fn ablation_sweep(benchmarks: &[&str], scale: ExperimentScale) -> SweepSpec {
+    let first = benchmarks.first().copied().unwrap_or("gcc");
+    let workload = WorkloadSpec::single(first, scale.spec_length);
+    let mut no_overlap = MachineSpec::hpca2010();
+    no_overlap.overrides.overlap_effects = Some(false);
+    let mut no_reset = MachineSpec::hpca2010();
+    no_reset.overrides.old_window_reset = Some(false);
 
-    // Five model variants per benchmark, in the order of the row fields.
-    let jobs: Vec<SimJob> = benchmarks
-        .iter()
-        .flat_map(|b| {
-            let spec = WorkloadSpec::single(b, scale.spec_length);
-            [
-                SimJob::new(CoreModel::Detailed, baseline, spec.clone(), scale.seed),
-                SimJob::new(CoreModel::Interval, baseline, spec.clone(), scale.seed),
-                SimJob::new(
-                    CoreModel::Interval,
-                    no_overlap_cfg,
-                    spec.clone(),
-                    scale.seed,
-                ),
-                SimJob::new(CoreModel::Interval, no_reset_cfg, spec.clone(), scale.seed),
-                SimJob::new(CoreModel::OneIpc, baseline, spec, scale.seed),
-            ]
-        })
-        .collect();
-    let out = run_batch(&jobs);
-    benchmarks
-        .iter()
-        .zip(out.chunks_exact(5))
-        .map(|(b, group)| AblationRow {
-            benchmark: (*b).to_string(),
-            detailed_ipc: group[0].core_ipc(0),
-            interval_ipc: group[1].core_ipc(0),
-            no_overlap_ipc: group[2].core_ipc(0),
-            no_reset_ipc: group[3].core_ipc(0),
-            one_ipc_ipc: group[4].core_ipc(0),
-        })
-        .collect()
+    let template = |variant: &str, machine: MachineSpec, model: CoreModel| Template {
+        variant: Some(variant.to_string()),
+        machine,
+        workload: workload.clone(),
+        model,
+        seed: scale.seed,
+    };
+    let mut s = sweep(
+        "ablation",
+        workload.clone(),
+        MachineSpec::hpca2010(),
+        scale.seed,
+    );
+    s.templates = vec![
+        template(
+            ABLATION_VARIANTS[0],
+            MachineSpec::hpca2010(),
+            CoreModel::Detailed,
+        ),
+        template(
+            ABLATION_VARIANTS[1],
+            MachineSpec::hpca2010(),
+            CoreModel::Interval,
+        ),
+        template(ABLATION_VARIANTS[2], no_overlap, CoreModel::Interval),
+        template(ABLATION_VARIANTS[3], no_reset, CoreModel::Interval),
+        template(
+            ABLATION_VARIANTS[4],
+            MachineSpec::hpca2010(),
+            CoreModel::OneIpc,
+        ),
+    ];
+    s.benchmarks = benchmarks_owned(benchmarks);
+    s
+}
+
+/// Ablation study over the interval model's design choices: second-order
+/// overlap modeling and the old-window reset, compared against the one-IPC
+/// baseline, for single-threaded workloads.
+///
+/// # Panics
+///
+/// Panics when the sweep fails to validate (unknown benchmark).
+#[must_use]
+pub fn ablation(benchmarks: &[&str], scale: ExperimentScale) -> Vec<Record> {
+    run_sweep(ablation_sweep(benchmarks, scale))
+}
+
+fn run_sweep(sweep: SweepSpec) -> Vec<Record> {
+    sweep.run().unwrap_or_else(|e| panic!("{e}"))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::report;
 
     fn tiny() -> ExperimentScale {
         ExperimentScale {
@@ -862,119 +627,149 @@ mod tests {
     }
 
     #[test]
-    fn fig4_variants_produce_rows_with_bounded_error() {
-        let rows = fig4(
+    fn fig4_variants_produce_paired_records_with_bounded_error() {
+        let records = fig4(
             Fig4Variant::EffectiveDispatchRate,
             &["gzip", "swim"],
             tiny(),
         );
-        assert_eq!(rows.len(), 2);
-        for row in &rows {
-            assert!(row.detailed_ipc > 0.0 && row.interval_ipc > 0.0);
+        assert_eq!(records.len(), 4); // 2 benchmarks x 2 models
+        for pair in records.chunks_exact(2) {
+            let (detailed, interval) = (&pair[0], &pair[1]);
+            assert_eq!(detailed.variant, "detailed");
+            assert_eq!(interval.variant, "interval");
+            assert_eq!(detailed.group, interval.group);
+            assert!(detailed.core_ipc(0) > 0.0 && interval.core_ipc(0) > 0.0);
             assert!(
-                row.error() < 0.5,
+                interval.ipc_error_vs(detailed) < 0.5,
                 "{}: interval {:.3} vs detailed {:.3}",
-                row.benchmark,
-                row.interval_ipc,
-                row.detailed_ipc
+                interval.group,
+                interval.core_ipc(0),
+                detailed.core_ipc(0)
             );
         }
     }
 
     #[test]
     fn fig5_reports_all_requested_benchmarks() {
-        let rows = fig5(&["gcc", "mcf"], tiny());
-        assert_eq!(rows.len(), 2);
-        assert_eq!(rows[0].benchmark, "gcc");
-        assert!(rows.iter().all(|r| r.detailed_ipc > 0.0));
+        let records = fig5(&["gcc", "mcf"], tiny());
+        assert_eq!(records.len(), 4);
+        assert_eq!(records[0].group, "gcc");
+        assert_eq!(records[2].group, "mcf");
+        assert!(records.iter().all(|r| r.core_ipc(0) > 0.0));
+        assert!(records.iter().all(|r| r.sweep == "fig5"));
     }
 
     #[test]
     fn fig6_stp_between_one_and_copies() {
-        let rows = fig6(&["gcc"], &[1, 2], tiny());
-        assert_eq!(rows.len(), 2);
+        let records = fig6(&["gcc"], &[1, 2], tiny());
+        // 1 benchmark x 2 copy counts x 2 models.
+        assert_eq!(records.len(), 4);
+        let rows = report::stp_antt_rows(&records);
+        assert_eq!(rows.len(), 4); // (2 models) x (2 copy counts)
         for row in &rows {
-            assert!(row.detailed_stp > 0.0 && row.detailed_stp <= row.copies as f64 + 1e-9);
-            assert!(row.interval_stp > 0.0 && row.interval_stp <= row.copies as f64 + 0.35);
-            assert!(row.detailed_antt >= 0.9);
-            assert!(row.interval_antt >= 0.9);
+            assert!(row.stp > 0.0 && row.stp <= row.copies as f64 + 0.35);
+            assert!(row.antt >= 0.9);
         }
     }
 
     #[test]
     fn fig7_single_core_detailed_is_normalized_to_one() {
-        let rows = fig7(&["blackscholes"], &[1, 2], tiny());
-        assert_eq!(rows.len(), 2);
-        let one_core = &rows[0];
-        assert_eq!(one_core.cores, 1);
-        assert!((one_core.detailed_normalized_time - 1.0).abs() < 1e-9);
-        assert!(one_core.interval_normalized_time > 0.0);
+        let records = fig7(&["blackscholes"], &[1, 2], tiny());
+        assert_eq!(records.len(), 4);
+        let one_core_detailed = records
+            .iter()
+            .find(|r| r.cores == 1 && r.variant == "detailed")
+            .unwrap();
+        let table = report::format_normalized_table("fig7", &records, "detailed");
+        assert!(table.contains("blackscholes"));
+        assert!(one_core_detailed.cycles > 0);
     }
 
     #[test]
     fn fig8_produces_two_designs_per_benchmark() {
-        let rows = fig8(&["swaptions"], tiny());
-        assert_eq!(rows.len(), 2);
-        assert_eq!(rows[0].design, "2 cores + L2");
-        assert_eq!(rows[1].design, "4 cores + 3D");
-        assert!((rows[0].detailed_normalized_time - 1.0).abs() < 1e-9);
+        let records = fig8(&["swaptions"], tiny());
+        // 1 benchmark x 2 designs x 2 models.
+        assert_eq!(records.len(), 4);
+        assert_eq!(records[0].variant, "2 cores + L2/detailed");
+        assert_eq!(records[2].variant, "4 cores + 3D/detailed");
+        assert_eq!(records[2].cores, 4);
+        let quad = records[2].clone();
+        assert!(quad.cycles > 0);
     }
 
     #[test]
     fn fig9_speedup_is_positive_and_generally_above_one() {
-        let rows = fig9(&["mcf"], &[1], tiny());
-        assert_eq!(rows.len(), 1);
-        assert!(rows[0].speedup > 0.0);
+        let records = fig9(&["mcf"], &[1], tiny());
+        assert_eq!(records.len(), 2);
+        let (detailed, interval) = (&records[0], &records[1]);
+        assert!(interval.speedup_vs(detailed) > 0.0);
     }
 
     #[test]
-    fn fig_hybrid_produces_one_row_per_benchmark_policy_pair() {
+    fn fig_hybrid_produces_one_record_per_benchmark_policy_pair() {
         let scale = tiny();
         let policies = default_hybrid_policies(scale);
-        let rows = fig_hybrid(&["gcc"], &policies, scale);
-        assert_eq!(rows.len(), policies.len());
-        for row in &rows {
-            assert!(row.detailed_cpi > 0.0 && row.hybrid_cpi > 0.0);
+        let records = fig_hybrid(&["gcc"], &policies, scale);
+        assert_eq!(records.len(), 1 + policies.len());
+        let detailed = &records[0];
+        assert_eq!(detailed.variant, "detailed");
+        for hybrid in &records[1..] {
+            assert!(hybrid.variant.starts_with("hybrid-"));
+            assert!(detailed.cpi() > 0.0 && hybrid.cpi() > 0.0);
             assert!(
-                row.cpi_error() < 0.5,
+                hybrid.cpi_error_vs(detailed) < 0.5,
                 "{} under {}: hybrid CPI {:.3} vs detailed {:.3}",
-                row.benchmark,
-                row.policy,
-                row.hybrid_cpi,
-                row.detailed_cpi
+                hybrid.group,
+                hybrid.variant,
+                hybrid.cpi(),
+                detailed.cpi()
             );
         }
         // The periodic policy actually swaps on a multi-interval budget.
-        let periodic = rows
+        let periodic = records
             .iter()
-            .find(|r| r.policy.starts_with("periodic"))
+            .find(|r| r.variant.starts_with("hybrid-periodic"))
             .unwrap();
         assert!(periodic.swaps > 0, "periodic sampling must swap models");
     }
 
     #[test]
     fn ablation_removes_mlp_and_hurts_memory_bound_accuracy() {
-        let rows = ablation(&["mcf"], tiny());
-        assert_eq!(rows.len(), 1);
-        let row = &rows[0];
+        let records = ablation(&["mcf"], tiny());
+        assert_eq!(records.len(), 5);
+        let by_variant = |v: &str| {
+            records
+                .iter()
+                .find(|r| r.variant == v)
+                .unwrap_or_else(|| panic!("missing variant {v}"))
+        };
+        let interval = by_variant("interval");
+        let no_overlap = by_variant("interval-no-overlap");
         // Without overlap modeling every long-latency miss is charged in
         // full, so the estimate must be slower (lower IPC) than the full
         // interval model on a memory-bound benchmark.
         assert!(
-            row.no_overlap_ipc < row.interval_ipc,
+            no_overlap.core_ipc(0) < interval.core_ipc(0),
             "no-overlap IPC {:.3} must be below full-model IPC {:.3}",
-            row.no_overlap_ipc,
-            row.interval_ipc
+            no_overlap.core_ipc(0),
+            interval.core_ipc(0)
         );
         // Every variant produces a usable (positive, bounded) estimate.
-        for ipc in [
-            row.interval_ipc,
-            row.no_overlap_ipc,
-            row.no_reset_ipc,
-            row.one_ipc_ipc,
-        ] {
-            assert!(ipc > 0.0 && ipc <= 4.0);
+        for v in ABLATION_VARIANTS {
+            let ipc = by_variant(v).core_ipc(0);
+            assert!(ipc > 0.0 && ipc <= 4.0, "{v}: {ipc}");
         }
-        assert_eq!(row.errors().len(), 4);
+    }
+
+    #[test]
+    fn sweep_constructors_mirror_their_run_wrappers() {
+        // The `figN` wrappers must be nothing but `figN_sweep(...).run()`.
+        let scale = tiny();
+        let sweep = fig5_sweep(&["gcc"], scale);
+        let direct = sweep.run_with_threads(1).unwrap();
+        let via_wrapper = fig5(&["gcc"], scale);
+        let canon = |rs: &[Record]| rs.iter().map(Record::canonical).collect::<Vec<_>>();
+        assert_eq!(canon(&direct), canon(&via_wrapper));
     }
 }

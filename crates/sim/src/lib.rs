@@ -6,9 +6,14 @@
 //! on it, a [`runner`] that executes the workload under any of the three core
 //! models (interval, detailed cycle-accurate, one-IPC), the multi-program
 //! [`metrics`] the paper reports (IPC, STP, ANTT, normalized execution time,
-//! relative error), and one [`experiments`] driver per figure of the paper's
-//! evaluation section. Sweeps execute through the parallel [`batch`] engine
-//! (`ISS_THREADS` workers, deterministic job-ordered results).
+//! relative error), and the declarative [`scenario`] engine: every
+//! experiment — including each figure of the paper's evaluation section
+//! ([`experiments`]) — is a [`scenario::ScenarioSpec`]/[`scenario::SweepSpec`]
+//! that expands into a deterministic job batch and reports unified
+//! [`scenario::Record`] rows (formatted by [`report`]). Sweeps execute
+//! through the parallel [`batch`] engine (`ISS_THREADS` workers,
+//! deterministic job-ordered results); scenario files (a strict TOML
+//! subset) describe the same surface, so new experiments are data files.
 //!
 //! ```
 //! use iss_sim::config::SystemConfig;
@@ -26,6 +31,7 @@
 
 pub mod batch;
 pub mod config;
+pub mod env;
 pub mod experiments;
 pub mod hybrid;
 pub mod metrics;
@@ -33,6 +39,7 @@ pub mod model;
 pub mod report;
 pub mod runner;
 pub mod sampling;
+pub mod scenario;
 pub mod workload;
 
 pub use batch::{run_batch, run_batch_with_threads, SimJob};
@@ -41,4 +48,5 @@ pub use hybrid::{HybridSpec, SwapController, SwapPolicy};
 pub use model::{AnyMachine, CpuModel, ModelCheckpoint};
 pub use runner::{run, BaseModel, CoreModel, CoreSummary, SimSummary};
 pub use sampling::{run_sampled, SamplingEstimate, SamplingSpec};
+pub use scenario::{MachineSpec, Record, ScenarioSpec, SweepSpec};
 pub use workload::WorkloadSpec;

@@ -1,0 +1,1062 @@
+//! Text codec for scenario files: a strict, hand-rolled TOML subset.
+//!
+//! The vendored `serde` is a no-op marker with no serializer backend, so —
+//! like the CI baseline files in `iss-bench` — scenario files are written
+//! and parsed by a small purpose-built codec. The accepted grammar is a
+//! TOML subset: `key = value` pairs, `[section]` headers, `[[scenario]]`
+//! table arrays, strings in double quotes, unsigned integers, booleans and
+//! homogeneous arrays. Parsing is **strict**: unknown sections, unknown
+//! keys, duplicate keys, negative numbers and type mismatches are errors
+//! with the offending line — a typo in a spec must never silently change
+//! what gets simulated (the same contract as [`crate::env`]).
+//!
+//! File layout (see the repo's `examples/scenarios/` for real files):
+//!
+//! ```toml
+//! schema = "iss-scenario/v1"
+//! name = "fig5"
+//! seed = 42                      # template seed (default 42)
+//! model = "interval"             # template model (default "interval")
+//!
+//! [machine]                      # template machine (default: hpca2010)
+//! baseline = "hpca2010"
+//! perfect_branch = true          # ... any override knob
+//!
+//! [workload]                     # template workload
+//! kind = "single"                # single | homogeneous | multiprogram
+//!                                # | multithreaded
+//! benchmark = "gcc"
+//! length = 20000
+//!
+//! [sweep]                        # cartesian axes (all optional)
+//! benchmarks = ["gcc", "mcf"]
+//! models = ["detailed", "interval"]
+//! cores = [1, 2, 4, 8]
+//! seeds = [42]
+//!
+//! [[scenario]]                   # explicit variant templates (optional);
+//! variant = "no-overlap"         # when present they replace the base
+//! model = "interval"             # template, inheriting unset fields
+//! [scenario.machine]             # from the top-level sections
+//! overlap_effects = false
+//! ```
+
+use crate::runner::CoreModel;
+use crate::workload::WorkloadSpec;
+
+use super::machine::{MachineBaseline, MachineSpec};
+use super::modelspec::parse_model;
+use super::{ScenarioSpec, SweepSpec, Template};
+
+/// Schema marker every scenario file must carry.
+pub const SCHEMA: &str = "iss-scenario/v1";
+
+#[derive(Debug, Clone, PartialEq)]
+enum Value {
+    Str(String),
+    Int(u64),
+    Bool(bool),
+    StrList(Vec<String>),
+    IntList(Vec<u64>),
+}
+
+impl Value {
+    fn type_name(&self) -> &'static str {
+        match self {
+            Value::Str(_) => "string",
+            Value::Int(_) => "integer",
+            Value::Bool(_) => "boolean",
+            Value::StrList(_) => "string array",
+            Value::IntList(_) => "integer array",
+        }
+    }
+}
+
+struct Entry {
+    section: String,
+    key: String,
+    value: Value,
+    line: usize,
+    used: bool,
+}
+
+struct Doc {
+    entries: Vec<Entry>,
+    /// Number of `[[scenario]]` blocks seen.
+    scenarios: usize,
+}
+
+impl Doc {
+    fn take(&mut self, section: &str, key: &str) -> Option<(Value, usize)> {
+        self.entries
+            .iter_mut()
+            .find(|e| !e.used && e.section == section && e.key == key)
+            .map(|e| {
+                e.used = true;
+                (e.value.clone(), e.line)
+            })
+    }
+
+    fn has_section(&self, section: &str) -> bool {
+        self.entries.iter().any(|e| e.section == section)
+    }
+
+    fn unused(&self) -> Option<&Entry> {
+        self.entries.iter().find(|e| !e.used)
+    }
+}
+
+fn strip_comment(line: &str) -> &str {
+    let mut in_string = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_string = !in_string,
+            '#' if !in_string => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn parse_scalar(text: &str, line_no: usize) -> Result<Value, String> {
+    let t = text.trim();
+    if let Some(rest) = t.strip_prefix('"') {
+        let Some(body) = rest.strip_suffix('"') else {
+            return Err(format!("line {line_no}: unterminated string `{t}`"));
+        };
+        if body.contains('"') {
+            return Err(format!(
+                "line {line_no}: embedded quotes are not supported in `{t}`"
+            ));
+        }
+        return Ok(Value::Str(body.to_string()));
+    }
+    match t {
+        "true" => return Ok(Value::Bool(true)),
+        "false" => return Ok(Value::Bool(false)),
+        _ => {}
+    }
+    if t.starts_with('-') {
+        return Err(format!(
+            "line {line_no}: negative numbers are not valid in scenario files (`{t}`)"
+        ));
+    }
+    t.parse::<u64>()
+        .map(Value::Int)
+        .map_err(|_| format!("line {line_no}: `{t}` is not a string, boolean or unsigned integer"))
+}
+
+fn parse_value(text: &str, line_no: usize) -> Result<Value, String> {
+    let t = text.trim();
+    let Some(list_body) = t.strip_prefix('[') else {
+        return parse_scalar(t, line_no);
+    };
+    let Some(body) = list_body.strip_suffix(']') else {
+        return Err(format!(
+            "line {line_no}: unterminated array `{t}` (arrays must close on the same line)"
+        ));
+    };
+    let mut strs = Vec::new();
+    let mut ints = Vec::new();
+    let body = body.trim();
+    if body.is_empty() {
+        return Ok(Value::StrList(Vec::new()));
+    }
+    for element in split_top_level_commas(body) {
+        match parse_scalar(&element, line_no)? {
+            Value::Str(s) => strs.push(s),
+            Value::Int(n) => ints.push(n),
+            other => {
+                return Err(format!(
+                    "line {line_no}: arrays may hold strings or integers, not {}",
+                    other.type_name()
+                ))
+            }
+        }
+    }
+    match (strs.is_empty(), ints.is_empty()) {
+        (false, true) => Ok(Value::StrList(strs)),
+        (true, false) => Ok(Value::IntList(ints)),
+        _ => Err(format!(
+            "line {line_no}: arrays must be homogeneous (all strings or all integers)"
+        )),
+    }
+}
+
+fn split_top_level_commas(body: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut current = String::new();
+    let mut in_string = false;
+    for c in body.chars() {
+        match c {
+            '"' => {
+                in_string = !in_string;
+                current.push(c);
+            }
+            ',' if !in_string => {
+                out.push(current.trim().to_string());
+                current.clear();
+            }
+            _ => current.push(c),
+        }
+    }
+    out.push(current.trim().to_string());
+    out
+}
+
+const KNOWN_SECTIONS: [&str; 4] = ["machine", "workload", "sweep", "model"];
+
+fn parse_doc(text: &str) -> Result<Doc, String> {
+    let mut doc = Doc {
+        entries: Vec::new(),
+        scenarios: 0,
+    };
+    // The section every following `key = value` line lands in; scenario
+    // blocks get an index so each block is its own namespace.
+    let mut section = String::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line_no = i + 1;
+        let line = strip_comment(raw).trim().to_string();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(header) = line.strip_prefix("[[").and_then(|h| h.strip_suffix("]]")) {
+            if header.trim() != "scenario" {
+                return Err(format!(
+                    "line {line_no}: only [[scenario]] table arrays are supported, got [[{header}]]"
+                ));
+            }
+            section = format!("scenario.{}", doc.scenarios);
+            doc.scenarios += 1;
+            continue;
+        }
+        if let Some(header) = line.strip_prefix('[').and_then(|h| h.strip_suffix(']')) {
+            let header = header.trim();
+            if let Some(sub) = header.strip_prefix("scenario.") {
+                if doc.scenarios == 0 {
+                    return Err(format!(
+                        "line {line_no}: [scenario.{sub}] appears before any [[scenario]] block"
+                    ));
+                }
+                if !matches!(sub, "machine" | "workload") {
+                    return Err(format!(
+                        "line {line_no}: unknown scenario subsection [scenario.{sub}] \
+                         (known: machine, workload)"
+                    ));
+                }
+                section = format!("scenario.{}.{sub}", doc.scenarios - 1);
+            } else if KNOWN_SECTIONS.contains(&header) {
+                section = header.to_string();
+            } else {
+                return Err(format!(
+                    "line {line_no}: unknown section [{header}] \
+                     (known: machine, workload, sweep, and [[scenario]] blocks)"
+                ));
+            }
+            continue;
+        }
+        let Some((key, value_text)) = line.split_once('=') else {
+            return Err(format!(
+                "line {line_no}: expected `key = value`, a [section] header or a comment, \
+                 got `{line}`"
+            ));
+        };
+        let key = key.trim().to_string();
+        if key.is_empty() || !key.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
+            return Err(format!("line {line_no}: malformed key `{key}`"));
+        }
+        let value = parse_value(value_text, line_no)?;
+        if doc
+            .entries
+            .iter()
+            .any(|e| e.section == section && e.key == key)
+        {
+            return Err(format!(
+                "line {line_no}: duplicate key `{key}` in {}",
+                section_label(&section)
+            ));
+        }
+        doc.entries.push(Entry {
+            section: section.clone(),
+            key,
+            value,
+            line: line_no,
+            used: false,
+        });
+    }
+    Ok(doc)
+}
+
+fn section_label(section: &str) -> String {
+    if section.is_empty() {
+        "the top level".to_string()
+    } else {
+        format!("[{section}]")
+    }
+}
+
+// --- typed accessors -------------------------------------------------------
+
+fn take_str(doc: &mut Doc, section: &str, key: &str) -> Result<Option<String>, String> {
+    match doc.take(section, key) {
+        None => Ok(None),
+        Some((Value::Str(s), _)) => Ok(Some(s)),
+        Some((other, line)) => Err(format!(
+            "line {line}: `{key}` must be a string, got a {}",
+            other.type_name()
+        )),
+    }
+}
+
+fn take_u64(doc: &mut Doc, section: &str, key: &str) -> Result<Option<u64>, String> {
+    match doc.take(section, key) {
+        None => Ok(None),
+        Some((Value::Int(n), _)) => Ok(Some(n)),
+        Some((other, line)) => Err(format!(
+            "line {line}: `{key}` must be an unsigned integer, got a {}",
+            other.type_name()
+        )),
+    }
+}
+
+fn take_bool(doc: &mut Doc, section: &str, key: &str) -> Result<Option<bool>, String> {
+    match doc.take(section, key) {
+        None => Ok(None),
+        Some((Value::Bool(b), _)) => Ok(Some(b)),
+        Some((other, line)) => Err(format!(
+            "line {line}: `{key}` must be a boolean, got a {}",
+            other.type_name()
+        )),
+    }
+}
+
+fn take_str_list(doc: &mut Doc, section: &str, key: &str) -> Result<Option<Vec<String>>, String> {
+    match doc.take(section, key) {
+        None => Ok(None),
+        Some((Value::StrList(v), _)) => Ok(Some(v)),
+        Some((Value::Str(s), _)) => Ok(Some(vec![s])),
+        Some((other, line)) => Err(format!(
+            "line {line}: `{key}` must be an array of strings, got a {}",
+            other.type_name()
+        )),
+    }
+}
+
+fn take_u64_list(doc: &mut Doc, section: &str, key: &str) -> Result<Option<Vec<u64>>, String> {
+    match doc.take(section, key) {
+        None => Ok(None),
+        Some((Value::IntList(v), _)) => Ok(Some(v)),
+        Some((Value::Int(n), _)) => Ok(Some(vec![n])),
+        Some((other, line)) => Err(format!(
+            "line {line}: `{key}` must be an array of unsigned integers, got a {}",
+            other.type_name()
+        )),
+    }
+}
+
+/// [`take_u64`] narrowed to a target integer type, rejecting out-of-range
+/// values instead of truncating them.
+fn take_narrow<T: TryFrom<u64>>(
+    doc: &mut Doc,
+    section: &str,
+    key: &str,
+) -> Result<Option<T>, String> {
+    match doc.take(section, key) {
+        None => Ok(None),
+        Some((Value::Int(n), line)) => T::try_from(n)
+            .map(Some)
+            .map_err(|_| format!("line {line}: `{key}` value {n} is out of range for this knob")),
+        Some((other, line)) => Err(format!(
+            "line {line}: `{key}` must be an unsigned integer, got a {}",
+            other.type_name()
+        )),
+    }
+}
+
+// --- section builders ------------------------------------------------------
+
+/// Builds a machine spec from a section, **inheriting** every field the
+/// section does not mention from `base` — a `[scenario.machine]` block
+/// that flips one knob keeps the rest of the file-level machine intact.
+fn machine_from(doc: &mut Doc, section: &str, base: MachineSpec) -> Result<MachineSpec, String> {
+    if !doc.has_section(section) {
+        return Ok(base);
+    }
+    let mut m = base;
+    if let Some(name) = take_str(doc, section, "baseline")? {
+        m.baseline = MachineBaseline::parse(&name)?;
+    }
+    if let Some(cores) = take_narrow::<usize>(doc, section, "cores")? {
+        m.cores = Some(cores);
+    }
+    let o = &mut m.overrides;
+    for (key, field) in [
+        ("perfect_branch", &mut o.perfect_branch),
+        ("perfect_iside", &mut o.perfect_iside),
+        ("perfect_dside", &mut o.perfect_dside),
+        ("perfect_l2", &mut o.perfect_l2),
+        ("no_l2", &mut o.no_l2),
+    ] {
+        if let Some(b) = take_bool(doc, section, key)? {
+            *field = b;
+        }
+    }
+    if let Some(w) = take_narrow::<u32>(doc, section, "dispatch_width")? {
+        o.dispatch_width = Some(w);
+    }
+    if let Some(w) = take_narrow::<usize>(doc, section, "window_size")? {
+        o.window_size = Some(w);
+    }
+    if let Some(l) = take_u64(doc, section, "dram_latency")? {
+        o.dram_latency = Some(l);
+    }
+    if let Some(kb) = take_u64(doc, section, "l2_size_kb")? {
+        o.l2_size_kb = Some(kb);
+    }
+    if let Some(b) = take_bool(doc, section, "overlap_effects")? {
+        o.overlap_effects = Some(b);
+    }
+    if let Some(b) = take_bool(doc, section, "old_window_reset")? {
+        o.old_window_reset = Some(b);
+    }
+    Ok(m)
+}
+
+fn workload_from(
+    doc: &mut Doc,
+    section: &str,
+    placeholder_benchmark: Option<&str>,
+    placeholder_cores: Option<usize>,
+) -> Result<Option<WorkloadSpec>, String> {
+    if !doc.has_section(section) {
+        return Ok(None);
+    }
+    let where_ = section_label(section);
+    let kind = take_str(doc, section, "kind")?
+        .ok_or_else(|| format!("{where_} is missing its `kind` key"))?;
+    let length = take_u64(doc, section, "length")?
+        .ok_or_else(|| format!("{where_} is missing its `length` key"))?;
+
+    // Only the keys the declared kind actually uses are consumed; a stray
+    // `threads` on a `single` workload stays unused and trips the
+    // unknown-key check — it must not be silently ignored.
+    let one_benchmark = |doc: &mut Doc| -> Result<String, String> {
+        take_str(doc, section, "benchmark")?
+            .or_else(|| placeholder_benchmark.map(str::to_string))
+            .ok_or_else(|| {
+                format!(
+                    "{where_} names no `benchmark` and the sweep has no benchmarks axis \
+                     to supply one"
+                )
+            })
+    };
+    let width = |doc: &mut Doc, key: &str| -> Result<usize, String> {
+        take_narrow::<usize>(doc, section, key)?
+            .or(placeholder_cores)
+            .ok_or_else(|| {
+                format!("{where_} names no `{key}` and the sweep has no cores axis to supply one")
+            })
+    };
+
+    let spec = match kind.as_str() {
+        "single" => WorkloadSpec::Single {
+            benchmark: one_benchmark(doc)?,
+            length,
+        },
+        "homogeneous" => WorkloadSpec::MultiprogramHomogeneous {
+            benchmark: one_benchmark(doc)?,
+            copies: width(doc, "copies")?,
+            length_per_copy: length,
+        },
+        "multiprogram" => WorkloadSpec::Multiprogram {
+            benchmarks: take_str_list(doc, section, "benchmarks")?.ok_or_else(|| {
+                format!("{where_} with kind = \"multiprogram\" needs a `benchmarks` array")
+            })?,
+            length_per_copy: length,
+        },
+        "multithreaded" => WorkloadSpec::Multithreaded {
+            benchmark: one_benchmark(doc)?,
+            threads: width(doc, "threads")?,
+            total_length: length,
+        },
+        other => {
+            return Err(format!(
+                "{where_} has unknown workload kind `{other}` \
+                 (known: single, homogeneous, multiprogram, multithreaded)"
+            ))
+        }
+    };
+    Ok(Some(spec))
+}
+
+impl SweepSpec {
+    /// Parses a scenario file (see the module docs for the grammar).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message with the offending line for any syntactic or
+    /// structural defect: missing schema/name, unknown sections or keys,
+    /// type mismatches, malformed model strings, workload shapes missing
+    /// required fields.
+    pub fn from_toml(text: &str) -> Result<Self, String> {
+        let mut doc = parse_doc(text)?;
+        match take_str(&mut doc, "", "schema")? {
+            Some(s) if s == SCHEMA => {}
+            Some(s) => {
+                return Err(format!(
+                    "unsupported schema `{s}` (this build reads `{SCHEMA}`)"
+                ))
+            }
+            None => return Err(format!("missing `schema = \"{SCHEMA}\"` marker")),
+        }
+        let name = take_str(&mut doc, "", "name")?.ok_or("missing top-level `name` key")?;
+
+        // Axes first: they supply placeholders for templates that omit the
+        // swept field.
+        let models = take_str_list(&mut doc, "sweep", "models")?
+            .unwrap_or_default()
+            .iter()
+            .map(|s| parse_model(s))
+            .collect::<Result<Vec<_>, _>>()?;
+        let benchmarks = take_str_list(&mut doc, "sweep", "benchmarks")?.unwrap_or_default();
+        let cores: Vec<usize> = take_u64_list(&mut doc, "sweep", "cores")?
+            .unwrap_or_default()
+            .iter()
+            .map(|&n| n as usize)
+            .collect();
+        let seeds = take_u64_list(&mut doc, "sweep", "seeds")?.unwrap_or_default();
+        let placeholder_benchmark = benchmarks.first().map(String::as_str);
+        let placeholder_cores = cores.first().copied();
+
+        let base_seed = take_u64(&mut doc, "", "seed")?.unwrap_or(42);
+        let base_model = match take_str(&mut doc, "", "model")? {
+            Some(s) => parse_model(&s)?,
+            None => CoreModel::Interval,
+        };
+        let base_machine = machine_from(&mut doc, "machine", MachineSpec::hpca2010())?;
+        let base_workload = workload_from(
+            &mut doc,
+            "workload",
+            placeholder_benchmark,
+            placeholder_cores,
+        )?;
+
+        let templates = if doc.scenarios == 0 {
+            vec![Template {
+                variant: None,
+                machine: base_machine,
+                workload: base_workload
+                    .ok_or("missing [workload] section (and no [[scenario]] blocks define one)")?,
+                model: base_model,
+                seed: base_seed,
+            }]
+        } else {
+            let mut templates = Vec::with_capacity(doc.scenarios);
+            for i in 0..doc.scenarios {
+                let section = format!("scenario.{i}");
+                let variant = take_str(&mut doc, &section, "variant")?;
+                let model = match take_str(&mut doc, &section, "model")? {
+                    Some(s) => parse_model(&s)?,
+                    None => base_model,
+                };
+                let seed = take_u64(&mut doc, &section, "seed")?.unwrap_or(base_seed);
+                let machine = machine_from(&mut doc, &format!("{section}.machine"), base_machine)?;
+                let workload = workload_from(
+                    &mut doc,
+                    &format!("{section}.workload"),
+                    placeholder_benchmark,
+                    placeholder_cores,
+                )?
+                .or_else(|| base_workload.clone())
+                .ok_or_else(|| {
+                    format!(
+                        "[[scenario]] block {} defines no workload and there is no base \
+                         [workload] section to inherit",
+                        i + 1
+                    )
+                })?;
+                templates.push(Template {
+                    variant,
+                    machine,
+                    workload,
+                    model,
+                    seed,
+                });
+            }
+            templates
+        };
+
+        if let Some(stray) = doc.unused() {
+            return Err(format!(
+                "line {}: unknown key `{}` in {}",
+                stray.line,
+                stray.key,
+                section_label(&stray.section)
+            ));
+        }
+
+        Ok(SweepSpec {
+            name,
+            templates,
+            benchmarks,
+            cores,
+            seeds,
+            models,
+        })
+    }
+
+    /// Renders the sweep as a scenario file that [`SweepSpec::from_toml`]
+    /// parses back to an equal value.
+    #[must_use]
+    pub fn to_toml(&self) -> String {
+        use std::fmt::Write;
+        let mut t = String::new();
+        let _ = writeln!(t, "schema = \"{SCHEMA}\"");
+        let _ = writeln!(t, "name = \"{}\"", self.name);
+
+        let base_form = self.templates.len() == 1 && self.templates[0].variant.is_none();
+        if base_form {
+            let base = &self.templates[0];
+            let _ = writeln!(t, "seed = {}", base.seed);
+            let _ = writeln!(t, "model = \"{}\"", base.model.name());
+            t.push_str(&render_machine_section("machine", &base.machine));
+            t.push_str(&render_workload_section("workload", &base.workload));
+        }
+        if !(self.benchmarks.is_empty()
+            && self.cores.is_empty()
+            && self.seeds.is_empty()
+            && self.models.is_empty())
+        {
+            t.push_str("\n[sweep]\n");
+            if !self.models.is_empty() {
+                let names: Vec<String> = self
+                    .models
+                    .iter()
+                    .map(|m| format!("\"{}\"", m.name()))
+                    .collect();
+                let _ = writeln!(t, "models = [{}]", names.join(", "));
+            }
+            if !self.benchmarks.is_empty() {
+                let names: Vec<String> =
+                    self.benchmarks.iter().map(|b| format!("\"{b}\"")).collect();
+                let _ = writeln!(t, "benchmarks = [{}]", names.join(", "));
+            }
+            if !self.cores.is_empty() {
+                let names: Vec<String> = self.cores.iter().map(ToString::to_string).collect();
+                let _ = writeln!(t, "cores = [{}]", names.join(", "));
+            }
+            if !self.seeds.is_empty() {
+                let names: Vec<String> = self.seeds.iter().map(ToString::to_string).collect();
+                let _ = writeln!(t, "seeds = [{}]", names.join(", "));
+            }
+        }
+        if !base_form {
+            for template in &self.templates {
+                t.push_str("\n[[scenario]]\n");
+                if let Some(v) = &template.variant {
+                    let _ = writeln!(t, "variant = \"{v}\"");
+                }
+                let _ = writeln!(t, "model = \"{}\"", template.model.name());
+                let _ = writeln!(t, "seed = {}", template.seed);
+                t.push_str(&render_machine_section(
+                    "scenario.machine",
+                    &template.machine,
+                ));
+                t.push_str(&render_workload_section(
+                    "scenario.workload",
+                    &template.workload,
+                ));
+            }
+        }
+        t
+    }
+}
+
+fn render_machine_section(header: &str, machine: &MachineSpec) -> String {
+    use std::fmt::Write;
+    let mut t = String::new();
+    let _ = writeln!(t, "\n[{header}]");
+    let _ = writeln!(t, "baseline = \"{}\"", machine.baseline.name());
+    if let Some(cores) = machine.cores {
+        let _ = writeln!(t, "cores = {cores}");
+    }
+    let o = &machine.overrides;
+    for (on, key) in [
+        (o.perfect_branch, "perfect_branch"),
+        (o.perfect_iside, "perfect_iside"),
+        (o.perfect_dside, "perfect_dside"),
+        (o.perfect_l2, "perfect_l2"),
+        (o.no_l2, "no_l2"),
+    ] {
+        if on {
+            let _ = writeln!(t, "{key} = true");
+        }
+    }
+    if let Some(w) = o.dispatch_width {
+        let _ = writeln!(t, "dispatch_width = {w}");
+    }
+    if let Some(w) = o.window_size {
+        let _ = writeln!(t, "window_size = {w}");
+    }
+    if let Some(l) = o.dram_latency {
+        let _ = writeln!(t, "dram_latency = {l}");
+    }
+    if let Some(kb) = o.l2_size_kb {
+        let _ = writeln!(t, "l2_size_kb = {kb}");
+    }
+    if let Some(b) = o.overlap_effects {
+        let _ = writeln!(t, "overlap_effects = {b}");
+    }
+    if let Some(b) = o.old_window_reset {
+        let _ = writeln!(t, "old_window_reset = {b}");
+    }
+    t
+}
+
+fn render_workload_section(header: &str, workload: &WorkloadSpec) -> String {
+    use std::fmt::Write;
+    let mut t = String::new();
+    let _ = writeln!(t, "\n[{header}]");
+    match workload {
+        WorkloadSpec::Single { benchmark, length } => {
+            let _ = writeln!(t, "kind = \"single\"");
+            let _ = writeln!(t, "benchmark = \"{benchmark}\"");
+            let _ = writeln!(t, "length = {length}");
+        }
+        WorkloadSpec::MultiprogramHomogeneous {
+            benchmark,
+            copies,
+            length_per_copy,
+        } => {
+            let _ = writeln!(t, "kind = \"homogeneous\"");
+            let _ = writeln!(t, "benchmark = \"{benchmark}\"");
+            let _ = writeln!(t, "copies = {copies}");
+            let _ = writeln!(t, "length = {length_per_copy}");
+        }
+        WorkloadSpec::Multiprogram {
+            benchmarks,
+            length_per_copy,
+        } => {
+            let _ = writeln!(t, "kind = \"multiprogram\"");
+            let names: Vec<String> = benchmarks.iter().map(|b| format!("\"{b}\"")).collect();
+            let _ = writeln!(t, "benchmarks = [{}]", names.join(", "));
+            let _ = writeln!(t, "length = {length_per_copy}");
+        }
+        WorkloadSpec::Multithreaded {
+            benchmark,
+            threads,
+            total_length,
+        } => {
+            let _ = writeln!(t, "kind = \"multithreaded\"");
+            let _ = writeln!(t, "benchmark = \"{benchmark}\"");
+            let _ = writeln!(t, "threads = {threads}");
+            let _ = writeln!(t, "length = {total_length}");
+        }
+    }
+    t
+}
+
+/// Parses a file that must expand to exactly one scenario (convenience for
+/// tools that want a single point rather than a sweep).
+///
+/// # Errors
+///
+/// Returns the parse error, or a message when the file expands to more
+/// than one point.
+pub fn single_scenario_from_toml(text: &str) -> Result<ScenarioSpec, String> {
+    let sweep = SweepSpec::from_toml(text)?;
+    let mut points = sweep.expand()?;
+    match points.len() {
+        1 => Ok(points.remove(0)),
+        n => Err(format!(
+            "expected a single-scenario file but `{}` expands to {n} points",
+            sweep.name
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::BaseModel;
+
+    fn fig5ish() -> &'static str {
+        r#"
+            schema = "iss-scenario/v1"
+            name = "fig5"
+            seed = 42
+
+            [machine]
+            baseline = "hpca2010"
+
+            [workload]
+            kind = "single"
+            length = 20000
+
+            [sweep]
+            models = ["detailed", "interval"]
+            benchmarks = ["gcc", "mcf"]
+        "#
+    }
+
+    #[test]
+    fn a_figure_file_parses_and_expands() {
+        let sweep = SweepSpec::from_toml(fig5ish()).unwrap();
+        assert_eq!(sweep.name, "fig5");
+        assert_eq!(sweep.models.len(), 2);
+        let points = sweep.expand().unwrap();
+        assert_eq!(points.len(), 4);
+        assert_eq!(points[0].name, "fig5/gcc/detailed");
+    }
+
+    #[test]
+    fn files_round_trip_through_the_codec() {
+        let sweep = SweepSpec::from_toml(fig5ish()).unwrap();
+        let rendered = sweep.to_toml();
+        let reparsed = SweepSpec::from_toml(&rendered).unwrap();
+        assert_eq!(sweep, reparsed, "rendered file:\n{rendered}");
+    }
+
+    #[test]
+    fn scenario_blocks_inherit_and_override() {
+        let text = r#"
+            schema = "iss-scenario/v1"
+            name = "ablation"
+            model = "detailed"
+
+            [workload]
+            kind = "single"
+            length = 8000
+
+            [sweep]
+            benchmarks = ["mcf"]
+
+            [[scenario]]
+            variant = "detailed"
+
+            [[scenario]]
+            variant = "no-overlap"
+            model = "interval"
+            [scenario.machine]
+            overlap_effects = false
+        "#;
+        let sweep = SweepSpec::from_toml(text).unwrap();
+        assert_eq!(sweep.templates.len(), 2);
+        assert_eq!(sweep.templates[0].model, CoreModel::Detailed);
+        assert_eq!(sweep.templates[1].model, CoreModel::Interval);
+        assert_eq!(
+            sweep.templates[1].machine.overrides.overlap_effects,
+            Some(false)
+        );
+        let points = sweep.expand().unwrap();
+        assert_eq!(points[1].variant, "no-overlap");
+        assert!(
+            !points[1]
+                .resolved_config()
+                .unwrap()
+                .interval_core
+                .model_overlap_effects
+        );
+        // Multi-template files round-trip too.
+        let reparsed = SweepSpec::from_toml(&sweep.to_toml()).unwrap();
+        assert_eq!(sweep, reparsed);
+    }
+
+    #[test]
+    fn hybrid_and_sampled_model_strings_parse_in_files() {
+        let text = r#"
+            schema = "iss-scenario/v1"
+            name = "frontier"
+            [workload]
+            kind = "single"
+            benchmark = "gcc"
+            length = 10000
+            [sweep]
+            models = ["detailed", "hybrid-periodic-4@2000", "sampled-detailed-1in28@350w60p6"]
+        "#;
+        let sweep = SweepSpec::from_toml(text).unwrap();
+        assert!(matches!(sweep.models[1], CoreModel::Hybrid(h)
+            if h.policy == crate::hybrid::SwapPolicy::Periodic { detailed_every: 4 }));
+        assert!(matches!(sweep.models[2], CoreModel::Sampled(s)
+            if s.measure == BaseModel::Detailed && s.sample_every == 28));
+    }
+
+    #[test]
+    fn strict_parsing_rejects_typos_loudly() {
+        let unknown_key = fig5ish().replace("baseline =", "basline =");
+        let e = SweepSpec::from_toml(&unknown_key).unwrap_err();
+        assert!(e.contains("basline"), "got: {e}");
+
+        let unknown_section = fig5ish().replace("[machine]", "[machines]");
+        let e = SweepSpec::from_toml(&unknown_section).unwrap_err();
+        assert!(e.contains("[machines]"), "got: {e}");
+
+        let bad_schema = fig5ish().replace("iss-scenario/v1", "iss-scenario/v9");
+        let e = SweepSpec::from_toml(&bad_schema).unwrap_err();
+        assert!(e.contains("v9"), "got: {e}");
+
+        let bad_type = fig5ish().replace("length = 20000", "length = \"lots\"");
+        let e = SweepSpec::from_toml(&bad_type).unwrap_err();
+        assert!(e.contains("length"), "got: {e}");
+
+        let negative = fig5ish().replace("seed = 42", "seed = -1");
+        let e = SweepSpec::from_toml(&negative).unwrap_err();
+        assert!(e.contains("negative"), "got: {e}");
+
+        let dup = fig5ish().replace("length = 20000", "length = 20000\nlength = 30000");
+        let e = SweepSpec::from_toml(&dup).unwrap_err();
+        assert!(e.contains("duplicate"), "got: {e}");
+    }
+
+    #[test]
+    fn missing_required_pieces_are_named() {
+        let e = SweepSpec::from_toml("name = \"x\"").unwrap_err();
+        assert!(e.contains("schema"), "got: {e}");
+
+        let no_name = "schema = \"iss-scenario/v1\"";
+        let e = SweepSpec::from_toml(no_name).unwrap_err();
+        assert!(e.contains("name"), "got: {e}");
+
+        let no_workload = r#"
+            schema = "iss-scenario/v1"
+            name = "x"
+        "#;
+        let e = SweepSpec::from_toml(no_workload).unwrap_err();
+        assert!(e.contains("[workload]"), "got: {e}");
+    }
+
+    #[test]
+    fn comments_and_whitespace_are_tolerated() {
+        let text = r#"
+            # a full-line comment
+            schema = "iss-scenario/v1"   # trailing comment
+            name = "a#b"                 # a hash inside a string is kept
+            [workload]
+            kind = "single"
+            benchmark = "gcc"
+            length = 1000
+        "#;
+        let sweep = SweepSpec::from_toml(text).unwrap();
+        assert_eq!(sweep.name, "a#b");
+    }
+
+    #[test]
+    fn single_scenario_helper_enforces_one_point() {
+        let one = r#"
+            schema = "iss-scenario/v1"
+            name = "one"
+            [workload]
+            kind = "single"
+            benchmark = "gcc"
+            length = 1000
+        "#;
+        let spec = single_scenario_from_toml(one).unwrap();
+        assert_eq!(spec.workload.label(), "gcc");
+        let e = single_scenario_from_toml(fig5ish()).unwrap_err();
+        assert!(e.contains("4 points"), "got: {e}");
+    }
+
+    #[test]
+    fn scenario_machine_blocks_inherit_the_base_machine_per_field() {
+        // A [[scenario]] block that flips one knob must keep the rest of
+        // the file-level [machine] — the documented inheritance contract.
+        let text = r#"
+            schema = "iss-scenario/v1"
+            name = "inherit"
+
+            [machine]
+            baseline = "fig8-quad-core-3d"
+            no_l2 = true
+            dram_latency = 90
+
+            [workload]
+            kind = "multithreaded"
+            benchmark = "vips"
+            threads = 4
+            length = 8000
+
+            [[scenario]]
+            variant = "degraded"
+            [scenario.machine]
+            overlap_effects = false
+        "#;
+        let sweep = SweepSpec::from_toml(text).unwrap();
+        let m = sweep.templates[0].machine;
+        assert_eq!(m.baseline, MachineBaseline::Fig8QuadCore3d);
+        assert!(m.overrides.no_l2, "no_l2 must be inherited");
+        assert_eq!(m.overrides.dram_latency, Some(90), "dram_latency inherited");
+        assert_eq!(m.overrides.overlap_effects, Some(false), "block override");
+    }
+
+    #[test]
+    fn stray_workload_keys_for_another_kind_are_rejected() {
+        // `threads` on a single-threaded workload is a shape mistake
+        // (the user meant multithreaded); it must not be silently eaten.
+        let text = r#"
+            schema = "iss-scenario/v1"
+            name = "stray"
+            [workload]
+            kind = "single"
+            benchmark = "gcc"
+            threads = 8
+            length = 1000
+        "#;
+        let e = SweepSpec::from_toml(text).unwrap_err();
+        assert!(e.contains("threads"), "got: {e}");
+
+        let text = r#"
+            schema = "iss-scenario/v1"
+            name = "stray2"
+            [workload]
+            kind = "multiprogram"
+            benchmarks = ["gcc", "mcf"]
+            benchmark = "mcf"
+            length = 1000
+        "#;
+        let e = SweepSpec::from_toml(text).unwrap_err();
+        assert!(e.contains("benchmark"), "got: {e}");
+    }
+
+    #[test]
+    fn out_of_range_integer_knobs_are_rejected_not_truncated() {
+        let text = r#"
+            schema = "iss-scenario/v1"
+            name = "overflow"
+            [machine]
+            dispatch_width = 4294967298
+            [workload]
+            kind = "single"
+            benchmark = "gcc"
+            length = 1000
+        "#;
+        let e = SweepSpec::from_toml(text).unwrap_err();
+        assert!(
+            e.contains("out of range") && e.contains("dispatch_width"),
+            "got: {e}"
+        );
+    }
+
+    #[test]
+    fn heterogeneous_multiprogram_parses() {
+        let text = r#"
+            schema = "iss-scenario/v1"
+            name = "hetero"
+            model = "sampled-detailed-1in8@500w100p4"
+
+            [machine]
+            baseline = "hpca2010"
+            no_l2 = true
+
+            [workload]
+            kind = "multiprogram"
+            benchmarks = ["gcc", "mcf", "swim", "twolf"]
+            length = 5000
+        "#;
+        let sweep = SweepSpec::from_toml(text).unwrap();
+        let points = sweep.expand().unwrap();
+        assert_eq!(points.len(), 1);
+        assert_eq!(points[0].resolved_cores(), 4);
+        assert!(points[0].resolved_config().unwrap().memory.l2.is_none());
+        assert!(matches!(points[0].model, CoreModel::Sampled(_)));
+    }
+}

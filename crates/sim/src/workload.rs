@@ -114,19 +114,81 @@ impl WorkloadSpec {
             .ok_or_else(|| format!("benchmark `{benchmark}` is not in the catalog"))
     }
 
+    /// Checks the spec without building it: every benchmark must exist in
+    /// the catalog and every size parameter must be non-zero. Each defect
+    /// gets its own precise message — an empty `Multiprogram` benchmark
+    /// list and a zero `length_per_copy` are different mistakes and must
+    /// not share an error.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first validation failure encountered.
+    pub fn validate(&self) -> Result<(), String> {
+        match self {
+            WorkloadSpec::Single { benchmark, length } => {
+                if *length == 0 {
+                    return Err("workload length must be non-zero".to_string());
+                }
+                Self::lookup(benchmark).map(|_| ())
+            }
+            WorkloadSpec::MultiprogramHomogeneous {
+                benchmark,
+                copies,
+                length_per_copy,
+            } => {
+                if *copies == 0 {
+                    return Err("multiprogram copies must be non-zero".to_string());
+                }
+                if *length_per_copy == 0 {
+                    return Err("multiprogram length_per_copy must be non-zero".to_string());
+                }
+                Self::lookup(benchmark).map(|_| ())
+            }
+            WorkloadSpec::Multiprogram {
+                benchmarks,
+                length_per_copy,
+            } => {
+                if benchmarks.is_empty() {
+                    return Err(
+                        "multiprogram benchmark list is empty — name one benchmark per core"
+                            .to_string(),
+                    );
+                }
+                if *length_per_copy == 0 {
+                    return Err("multiprogram length_per_copy must be non-zero".to_string());
+                }
+                for b in benchmarks {
+                    Self::lookup(b)?;
+                }
+                Ok(())
+            }
+            WorkloadSpec::Multithreaded {
+                benchmark,
+                threads,
+                total_length,
+            } => {
+                if *threads == 0 {
+                    return Err("multithreaded thread count must be non-zero".to_string());
+                }
+                if *total_length == 0 {
+                    return Err("multithreaded total_length must be non-zero".to_string());
+                }
+                Self::lookup(benchmark).map(|_| ())
+            }
+        }
+    }
+
     /// Builds the workload (per-core instruction streams + synchronization
     /// state) with the given seed.
     ///
     /// # Errors
     ///
     /// Returns an error when a benchmark name is not in the catalog or a size
-    /// parameter is zero.
+    /// parameter is zero (see [`WorkloadSpec::validate`]).
     pub fn build(&self, seed: u64) -> Result<ThreadedWorkload, String> {
+        self.validate()?;
         match self {
             WorkloadSpec::Single { benchmark, length } => {
-                if *length == 0 {
-                    return Err("workload length must be non-zero".to_string());
-                }
                 let p = Self::lookup(benchmark)?;
                 Ok(ThreadedWorkload::single(&p, seed, *length))
             }
@@ -135,9 +197,6 @@ impl WorkloadSpec {
                 copies,
                 length_per_copy,
             } => {
-                if *copies == 0 || *length_per_copy == 0 {
-                    return Err("copies and length_per_copy must be non-zero".to_string());
-                }
                 let p = Self::lookup(benchmark)?;
                 Ok(ThreadedWorkload::multiprogram_homogeneous(
                     &p,
@@ -150,9 +209,6 @@ impl WorkloadSpec {
                 benchmarks,
                 length_per_copy,
             } => {
-                if benchmarks.is_empty() || *length_per_copy == 0 {
-                    return Err("benchmarks and length_per_copy must be non-empty".to_string());
-                }
                 let profiles = benchmarks
                     .iter()
                     .map(|b| Self::lookup(b))
@@ -168,9 +224,6 @@ impl WorkloadSpec {
                 threads,
                 total_length,
             } => {
-                if *threads == 0 || *total_length == 0 {
-                    return Err("threads and total_length must be non-zero".to_string());
-                }
                 let p = Self::lookup(benchmark)?;
                 Ok(ThreadedWorkload::multithreaded(
                     &p,
@@ -234,5 +287,55 @@ mod tests {
         assert!(WorkloadSpec::single("gcc", 0).build(1).is_err());
         assert!(WorkloadSpec::homogeneous("gcc", 0, 10).build(1).is_err());
         assert!(WorkloadSpec::multithreaded("vips", 0, 10).build(1).is_err());
+    }
+
+    #[test]
+    fn multiprogram_defects_get_distinct_errors() {
+        // An empty benchmark list and a zero per-copy length are different
+        // mistakes; the messages must tell them apart.
+        let empty = WorkloadSpec::Multiprogram {
+            benchmarks: vec![],
+            length_per_copy: 300,
+        }
+        .build(1)
+        .unwrap_err();
+        assert!(
+            empty.contains("benchmark list is empty"),
+            "empty-list error must name the list, got: {empty}"
+        );
+        assert!(
+            !empty.contains("length_per_copy"),
+            "empty-list error must not mention the length, got: {empty}"
+        );
+
+        let zero_len = WorkloadSpec::Multiprogram {
+            benchmarks: vec!["gcc".to_string(), "art".to_string()],
+            length_per_copy: 0,
+        }
+        .build(1)
+        .unwrap_err();
+        assert!(
+            zero_len.contains("length_per_copy must be non-zero"),
+            "zero-length error must name the length, got: {zero_len}"
+        );
+        assert!(
+            !zero_len.contains("empty"),
+            "zero-length error must not mention the list, got: {zero_len}"
+        );
+        assert_ne!(empty, zero_len);
+    }
+
+    #[test]
+    fn validate_matches_build_without_building() {
+        let good = WorkloadSpec::homogeneous("mcf", 2, 500);
+        good.validate().unwrap();
+        let bad = WorkloadSpec::Multiprogram {
+            benchmarks: vec!["gcc".to_string(), "doom".to_string()],
+            length_per_copy: 100,
+        };
+        let v = bad.validate().unwrap_err();
+        let b = bad.build(1).unwrap_err();
+        assert_eq!(v, b);
+        assert!(v.contains("doom"));
     }
 }

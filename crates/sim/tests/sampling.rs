@@ -111,19 +111,34 @@ fn frontier_has_a_fast_point_within_5_percent_average_error() {
     let specs = default_sampling_specs(scale);
     let acceptance = specs[0];
     assert_eq!(acceptance.measure, BaseModel::Detailed);
-    let rows = fig_sampling(&SPEC_QUICK, &[acceptance], scale);
+    let records = fig_sampling(&SPEC_QUICK, &[acceptance], scale);
+    // Per benchmark: detailed + interval references and the sampled point.
+    assert_eq!(records.len(), SPEC_QUICK.len() * 3);
+    let rows: Vec<(&iss_sim::Record, &iss_sim::Record)> = iss_sim::report::groups(&records)
+        .into_iter()
+        .map(|group| {
+            let detailed = group.variant("detailed").expect("reference per group");
+            let sampled = *group
+                .records
+                .iter()
+                .find(|r| r.sampling.is_some())
+                .expect("sampled point per group");
+            (sampled, detailed)
+        })
+        .collect();
     assert_eq!(rows.len(), SPEC_QUICK.len());
     let n = rows.len() as f64;
-    let avg_err = rows.iter().map(|r| r.cpi_error()).sum::<f64>() / n;
-    let avg_speedup = rows.iter().map(|r| r.speedup()).sum::<f64>() / n;
-    let brackets = rows.iter().filter(|r| r.ci_brackets_detailed()).count();
-    for r in &rows {
+    let avg_err = rows.iter().map(|(s, d)| s.cpi_error_vs(d)).sum::<f64>() / n;
+    let avg_speedup = rows.iter().map(|(s, d)| s.speedup_vs(d)).sum::<f64>() / n;
+    let brackets = rows.iter().filter(|(s, d)| s.ci_brackets(d.cpi())).count();
+    for (s, _) in &rows {
+        let est = s.sampling.as_ref().expect("sampled row");
         assert!(
-            r.ci95_half_width.is_finite() && r.ci95_half_width > 0.0,
+            est.ci95_half_width.is_finite() && est.ci95_half_width > 0.0,
             "{}: every row must report a usable 95% interval",
-            r.benchmark
+            s.group
         );
-        assert!(r.units_measured >= 3, "{}: too few samples", r.benchmark);
+        assert!(est.units_measured >= 3, "{}: too few samples", s.group);
     }
     assert!(
         avg_err <= 0.05,

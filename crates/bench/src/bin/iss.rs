@@ -4,6 +4,7 @@
 //! iss run <spec.toml | builtin-name> [--threads N] [--reference VARIANT]
 //!                                    [--json PATH]
 //! iss validate <spec.toml | directory>...
+//! iss lint <spec.toml | directory>...
 //! iss list [directory]
 //! iss export <builtin-name> [path]
 //! ```
@@ -15,6 +16,10 @@
 //! `validate` parses and expands specs without simulating anything — every
 //! structural defect a run would hit (unknown keys, unknown benchmarks,
 //! core-count mismatches, invalid configs) fails here, loudly.
+//! `lint` goes further: static analysis of specs that *do* validate —
+//! duplicate design points by canonical digest, dead sweep axes, machine
+//! sanity, and a cost estimate against `ci/BENCH_baseline.json` (see the
+//! `iss-lint` crate).
 //! `list` names the built-in sweeps and any `.toml` files in a directory
 //! (default `examples/scenarios`).
 //! `export` writes a built-in sweep as a scenario file — the quickest way
@@ -27,7 +32,8 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use iss_bench::scenarios::{builtin_sweep, is_wall_clock_frontier, BUILTINS};
-use iss_sim::env::{configured_threads, scale_from_env};
+use iss_sim::env::{try_configured_threads, try_scale_from_env};
+use iss_sim::experiments::ExperimentScale;
 use iss_sim::report;
 use iss_sim::scenario::render_records_json;
 use iss_sim::SweepSpec;
@@ -37,8 +43,8 @@ const DEFAULT_SCENARIO_DIR: &str = "examples/scenarios";
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  iss run <spec.toml | builtin> [--threads N] [--reference VARIANT] \
-         [--json PATH]\n  iss validate <spec.toml | directory>...\n  iss list [directory]\n  \
-         iss export <builtin> [path]"
+         [--json PATH]\n  iss validate <spec.toml | directory>...\n  iss lint <spec.toml | \
+         directory>...\n  iss list [directory]\n  iss export <builtin> [path]"
     );
     ExitCode::FAILURE
 }
@@ -48,17 +54,31 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("run") => run(&args[1..]),
         Some("validate") => validate(&args[1..]),
+        Some("lint") => lint(&args[1..]),
         Some("list") => list(&args[1..]),
         Some("export") => export(&args[1..]),
         _ => usage(),
     }
 }
 
+/// Reads `ISS_EXPERIMENT_SCALE` through the typed-error path so a typo is
+/// a clean CLI diagnostic instead of a panic.
+fn cli_scale(command: &str) -> Result<ExperimentScale, ExitCode> {
+    try_scale_from_env().map_err(|e| {
+        eprintln!("iss {command}: {e}");
+        ExitCode::FAILURE
+    })
+}
+
 fn export(args: &[String]) -> ExitCode {
     let Some(name) = args.first() else {
         return usage();
     };
-    let Some(sweep) = builtin_sweep(name, scale_from_env()) else {
+    let scale = match cli_scale("export") {
+        Ok(scale) => scale,
+        Err(code) => return code,
+    };
+    let Some(sweep) = builtin_sweep(name, scale) else {
         eprintln!("iss export: `{name}` is not a built-in sweep (see `iss list`)");
         return ExitCode::FAILURE;
     };
@@ -84,7 +104,7 @@ fn load(target: &str) -> Result<SweepSpec, String> {
             .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
         return SweepSpec::from_toml(&text).map_err(|e| format!("{}: {e}", path.display()));
     }
-    match builtin_sweep(target, scale_from_env()) {
+    match builtin_sweep(target, try_scale_from_env()?) {
         Some(sweep) => Ok(sweep),
         None => Err(format!(
             "`{target}` is neither a readable spec file nor a built-in sweep \
@@ -160,7 +180,17 @@ fn run(args: &[String]) -> ExitCode {
                 iss_sim::CoreModel::Hybrid(_) | iss_sim::CoreModel::Sampled(_)
             )
         });
-    let threads = threads.unwrap_or_else(|| if frontier { 1 } else { configured_threads() });
+    let threads = match threads {
+        Some(n) => n,
+        None if frontier => 1,
+        None => match try_configured_threads() {
+            Ok(n) => n,
+            Err(e) => {
+                eprintln!("iss run: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+    };
     println!(
         "running `{}`: {} scenario(s) on {} worker(s)\n",
         sweep.name,
@@ -244,6 +274,20 @@ fn validate(args: &[String]) -> ExitCode {
                     sweep.name,
                     points.len()
                 );
+                // Validation accepts duplicate design points (they simulate
+                // fine, just redundantly); nudge toward the deeper check.
+                let mut digests = std::collections::BTreeSet::new();
+                if points
+                    .iter()
+                    .filter_map(|p| p.digest().ok())
+                    .any(|d| !digests.insert(d))
+                {
+                    println!(
+                        "  note: expands to duplicate design points — run \
+                         `iss lint {}` for details",
+                        path.display()
+                    );
+                }
             }
             Err(e) => {
                 failures += 1;
@@ -256,6 +300,75 @@ fn validate(args: &[String]) -> ExitCode {
         ExitCode::SUCCESS
     } else {
         eprintln!("{failures} of {} spec file(s) invalid", targets.len());
+        ExitCode::FAILURE
+    }
+}
+
+fn lint(args: &[String]) -> ExitCode {
+    if args.is_empty() {
+        return usage();
+    }
+    let mut targets = Vec::new();
+    for a in args {
+        let path = Path::new(a);
+        if path.is_dir() {
+            let found = spec_files(path);
+            if found.is_empty() {
+                eprintln!("iss lint: no .toml files in {}", path.display());
+                return ExitCode::FAILURE;
+            }
+            targets.extend(found);
+        } else {
+            targets.push(path.to_path_buf());
+        }
+    }
+    // The cost estimate needs the perf baseline; without one the lint
+    // still runs, it just reports instructions instead of seconds.
+    let mips = std::fs::read_to_string("ci/BENCH_baseline.json")
+        .ok()
+        .and_then(|text| iss_lint::ModelMips::parse(&text).ok());
+    let mut errors = 0usize;
+    for path in &targets {
+        let report = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read: {e}"))
+            .and_then(|text| SweepSpec::from_toml(&text))
+            .and_then(|sweep| iss_lint::analyze(&sweep, mips.as_ref()));
+        match report {
+            Ok(report) => {
+                let cost = report.estimated_seconds.map_or(String::new(), |s| {
+                    format!(", est {s:.2}s at baseline throughput")
+                });
+                println!(
+                    "{}: `{}` expands to {} point(s), {} instructions{cost}",
+                    path.display(),
+                    report.name,
+                    report.points,
+                    report.instructions
+                );
+                for f in &report.findings {
+                    match f.severity {
+                        iss_lint::Severity::Error => {
+                            errors += 1;
+                            println!("  error: {}", f.message);
+                        }
+                        iss_lint::Severity::Warning => println!("  warning: {}", f.message),
+                    }
+                }
+            }
+            Err(e) => {
+                errors += 1;
+                eprintln!("{}: FAIL — {e}", path.display());
+            }
+        }
+    }
+    if errors == 0 {
+        println!("{} spec file(s) lint clean", targets.len());
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "{errors} lint error(s) across {} spec file(s)",
+            targets.len()
+        );
         ExitCode::FAILURE
     }
 }

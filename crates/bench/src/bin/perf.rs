@@ -17,8 +17,8 @@
 //! `ISS_BENCH_OUT` or `BENCH_interval.json`. The instruction budget follows
 //! `ISS_EXPERIMENT_SCALE` (`quick` by default).
 
+use iss_sim::host_time::HostTimer;
 use std::fmt::Write as _;
-use std::time::Instant;
 
 use iss_bench::{PARSEC_QUICK, SPEC_QUICK};
 use iss_sim::env::{configured_threads, scale_from_env};
@@ -73,11 +73,11 @@ struct DriverTiming {
 }
 
 fn time_driver(name: &'static str, f: impl FnOnce() -> usize) -> DriverTiming {
-    let start = Instant::now();
+    let start = HostTimer::start();
     let rows = f();
     DriverTiming {
         name,
-        seconds: start.elapsed().as_secs_f64(),
+        seconds: start.elapsed_seconds(),
         rows,
     }
 }

@@ -15,6 +15,9 @@
 //! smoke runs), `full` (the paper-style runs), or a number of instructions
 //! per benchmark.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 pub mod gates;
 pub mod scenarios;
 

@@ -8,12 +8,11 @@
 //! with the multi-core time, which makes the core-level simulation
 //! event-driven while keeping the shared-resource simulation cycle-ordered.
 
-use std::time::Instant;
-
 use serde::{Deserialize, Serialize};
 
 use iss_branch::{BranchPredictorConfig, BranchStats};
 use iss_mem::{MemoryConfig, MemoryHierarchy, MemoryStats};
+use iss_trace::host_time::HostTimer;
 use iss_trace::{InstructionStream, SyncController, SyntheticStream, ThreadedWorkload};
 
 use crate::config::IntervalCoreConfig;
@@ -216,9 +215,9 @@ impl<S: InstructionStream> IntervalSimulator<S> {
 
     /// Runs the simulation until every core finished or `max_cycles` elapsed.
     pub fn run_with_limit(&mut self, max_cycles: u64) -> IntervalSimResult {
-        let start = Instant::now();
+        let start = HostTimer::start();
         self.advance(max_cycles, u64::MAX);
-        self.host_seconds += start.elapsed().as_secs_f64();
+        self.host_seconds += start.elapsed_seconds();
         self.result()
     }
 
@@ -228,10 +227,10 @@ impl<S: InstructionStream> IntervalSimulator<S> {
     /// is in exactly the state a continued `run` would have passed through,
     /// so stepping in intervals is bit-identical to one uninterrupted run.
     pub fn step_interval(&mut self, insts: u64) {
-        let start = Instant::now();
+        let start = HostTimer::start();
         let target = self.total_retired().saturating_add(insts);
         self.advance(u64::MAX, target);
-        self.host_seconds += start.elapsed().as_secs_f64();
+        self.host_seconds += start.elapsed_seconds();
     }
 
     fn advance(&mut self, max_cycles: u64, inst_target: u64) {

@@ -6,7 +6,7 @@
 //! resource-contention and thread-interleaving behaviour the paper's
 //! multi-core experiments measure.
 
-use std::time::Instant;
+use iss_trace::host_time::HostTimer;
 
 use serde::{Deserialize, Serialize};
 
@@ -227,19 +227,19 @@ impl<S: InstructionStream> DetailedSimulator<S> {
 
     /// Runs until every core finished or `max_cycles` elapsed.
     pub fn run_with_limit(&mut self, max_cycles: u64) -> DetailedSimResult {
-        let start = Instant::now();
+        let start = HostTimer::start();
         self.advance(max_cycles, u64::MAX);
-        self.host_seconds += start.elapsed().as_secs_f64();
+        self.host_seconds += start.elapsed_seconds();
         self.result()
     }
 
     /// Advances until at least `insts` more instructions commit chip-wide
     /// (or every core finishes) — the hybrid swap controller's quantum.
     pub fn step_interval(&mut self, insts: u64) {
-        let start = Instant::now();
+        let start = HostTimer::start();
         let target = self.total_retired().saturating_add(insts);
         self.advance(u64::MAX, target);
-        self.host_seconds += start.elapsed().as_secs_f64();
+        self.host_seconds += start.elapsed_seconds();
     }
 
     fn advance(&mut self, max_cycles: u64, inst_target: u64) {
@@ -463,19 +463,19 @@ impl<S: InstructionStream> OneIpcSimulator<S> {
 
     /// Runs to completion (bounded by `max_cycles`).
     pub fn run_with_limit(&mut self, max_cycles: u64) -> DetailedSimResult {
-        let start = Instant::now();
+        let start = HostTimer::start();
         self.advance(max_cycles, u64::MAX);
-        self.host_seconds += start.elapsed().as_secs_f64();
+        self.host_seconds += start.elapsed_seconds();
         self.result()
     }
 
     /// Advances until at least `insts` more instructions execute chip-wide
     /// (or every core finishes) — the hybrid swap controller's quantum.
     pub fn step_interval(&mut self, insts: u64) {
-        let start = Instant::now();
+        let start = HostTimer::start();
         let target = self.total_retired().saturating_add(insts);
         self.advance(u64::MAX, target);
-        self.host_seconds += start.elapsed().as_secs_f64();
+        self.host_seconds += start.elapsed_seconds();
     }
 
     fn advance(&mut self, max_cycles: u64, inst_target: u64) {

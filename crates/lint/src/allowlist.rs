@@ -1,0 +1,269 @@
+//! The checked-in suppression list, `ci/lint_allow.toml`.
+//!
+//! Suppression is a ratchet, not an escape hatch: every entry names one
+//! `(lint, path)` pair, the exact number of sites it covers, and a
+//! reviewed reason. If the actual count *rises*, the new sites are
+//! violations; if it *falls*, the stale entry is itself an error until
+//! the count is ratcheted down — the allowlist can only shrink silently,
+//! never grow. Parsed by the shared strict TOML-subset codec
+//! ([`iss_sim::tomldoc`]), so typos in the file are loud errors too.
+//!
+//! ```toml
+//! [[allow]]
+//! lint = "unwrap"
+//! path = "crates/sim/src/runner.rs"
+//! count = 6
+//! reason = "writes to String cannot fail; model kind is validated upstream"
+//! ```
+
+use std::collections::BTreeMap;
+
+use iss_sim::tomldoc::{ArraySpec, Doc, DocSpec};
+
+use crate::source::{Finding, Lint};
+
+/// The document shape of `ci/lint_allow.toml`: nothing but `[[allow]]`
+/// blocks.
+const ALLOW_DOC: DocSpec = DocSpec {
+    sections: &[],
+    array: Some(ArraySpec {
+        name: "allow",
+        subsections: &[],
+    }),
+};
+
+/// One reviewed suppression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowEntry {
+    /// Which lint the entry covers.
+    pub lint: Lint,
+    /// Repo-relative file path (forward slashes).
+    pub path: String,
+    /// Exact number of sites covered.
+    pub count: usize,
+    /// Why the sites are acceptable.
+    pub reason: String,
+}
+
+/// Parses the allowlist text.
+///
+/// # Errors
+///
+/// Returns a line-numbered message for syntax errors, unknown keys,
+/// unknown lints, a zero/overflowing `count`, or duplicate
+/// `(lint, path)` entries.
+pub fn parse(text: &str) -> Result<Vec<AllowEntry>, String> {
+    let mut doc = Doc::parse(text, &ALLOW_DOC)?;
+    let mut entries = Vec::with_capacity(doc.blocks());
+    for i in 0..doc.blocks() {
+        let section = format!("allow.{i}");
+        let where_ = format!("[[allow]] block {}", i + 1);
+        let lint_key = doc
+            .take_str(&section, "lint")?
+            .ok_or_else(|| format!("{where_} is missing its `lint` key"))?;
+        let lint = Lint::parse(&lint_key)?;
+        let path = doc
+            .take_str(&section, "path")?
+            .ok_or_else(|| format!("{where_} is missing its `path` key"))?;
+        let count = doc
+            .take_narrow::<usize>(&section, "count")?
+            .ok_or_else(|| format!("{where_} is missing its `count` key"))?;
+        if count == 0 {
+            return Err(format!("{where_} has count = 0 — delete the entry instead"));
+        }
+        let reason = doc
+            .take_str(&section, "reason")?
+            .ok_or_else(|| format!("{where_} is missing its `reason` key"))?;
+        if entries
+            .iter()
+            .any(|e: &AllowEntry| e.lint == lint && e.path == path)
+        {
+            return Err(format!(
+                "{where_} duplicates the ({}, {path}) entry",
+                lint.key()
+            ));
+        }
+        entries.push(AllowEntry {
+            lint,
+            path,
+            count,
+            reason,
+        });
+    }
+    if let Some(stray) = doc.unused() {
+        return Err(format!(
+            "line {}: unknown key `{}` in the allowlist",
+            stray.line, stray.key
+        ));
+    }
+    Ok(entries)
+}
+
+/// Renders entries back to the file format [`parse`] reads — the
+/// round-trip the allowlist tests pin down.
+#[must_use]
+pub fn render(entries: &[AllowEntry]) -> String {
+    use std::fmt::Write;
+    let mut t = String::new();
+    for e in entries {
+        let _ = writeln!(t, "[[allow]]");
+        let _ = writeln!(t, "lint = \"{}\"", e.lint.key());
+        let _ = writeln!(t, "path = \"{}\"", e.path);
+        let _ = writeln!(t, "count = {}", e.count);
+        let _ = writeln!(t, "reason = \"{}\"", e.reason);
+        let _ = writeln!(t);
+    }
+    t
+}
+
+/// Applies the allowlist to raw scan findings. Returns the surviving
+/// problems, each as a printable message: unsuppressed findings,
+/// over-budget groups (count grew) and stale entries (count shrank or
+/// the file is clean) — the last two keep the ratchet honest in both
+/// directions.
+#[must_use]
+pub fn apply(findings: &[Finding], entries: &[AllowEntry]) -> Vec<String> {
+    let mut groups: BTreeMap<(Lint, &str), Vec<&Finding>> = BTreeMap::new();
+    for f in findings {
+        groups.entry((f.lint, f.path.as_str())).or_default().push(f);
+    }
+    let mut problems = Vec::new();
+    for ((lint, path), group) in &groups {
+        match entries.iter().find(|e| e.lint == *lint && e.path == *path) {
+            None => {
+                for f in group {
+                    problems.push(format!("{f}"));
+                }
+            }
+            Some(e) if group.len() > e.count => {
+                problems.push(format!(
+                    "{path}: [{key}] {now} site(s), allowlist covers {budget} — new \
+                     violations were introduced:",
+                    key = lint.key(),
+                    now = group.len(),
+                    budget = e.count,
+                ));
+                for f in group {
+                    problems.push(format!("  {f}"));
+                }
+            }
+            Some(e) if group.len() < e.count => {
+                problems.push(stale(e, group.len()));
+            }
+            Some(_) => {}
+        }
+    }
+    // Entries whose file is now completely clean.
+    for e in entries {
+        if !groups.contains_key(&(e.lint, e.path.as_str())) {
+            problems.push(stale(e, 0));
+        }
+    }
+    problems
+}
+
+fn stale(e: &AllowEntry, now: usize) -> String {
+    format!(
+        "{}: [{}] allowlist entry is stale ({} site(s) remain, entry covers {}) — \
+         ratchet the count down",
+        e.path,
+        e.lint.key(),
+        now,
+        e.count
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(lint: Lint, path: &str, line: usize) -> Finding {
+        Finding {
+            path: path.to_string(),
+            line,
+            lint,
+            excerpt: "x".to_string(),
+        }
+    }
+
+    #[test]
+    fn allowlist_round_trips_through_the_codec() {
+        let entries = vec![
+            AllowEntry {
+                lint: Lint::UnwrapExpect,
+                path: "crates/sim/src/runner.rs".to_string(),
+                count: 6,
+                reason: "writes to String cannot fail".to_string(),
+            },
+            AllowEntry {
+                lint: Lint::WallClock,
+                path: "crates/trace/src/host_time.rs".to_string(),
+                count: 3,
+                reason: "the sanctioned portal".to_string(),
+            },
+        ];
+        let rendered = render(&entries);
+        assert_eq!(parse(&rendered).unwrap(), entries);
+    }
+
+    #[test]
+    fn malformed_allowlists_are_loud() {
+        let e = parse("[[allow]]\nlint = \"bogus\"\npath = \"x\"\ncount = 1\nreason = \"r\"\n")
+            .unwrap_err();
+        assert!(e.contains("bogus"), "got: {e}");
+
+        let e = parse("[[allow]]\nlint = \"unwrap\"\npath = \"x\"\ncount = 0\nreason = \"r\"\n")
+            .unwrap_err();
+        assert!(e.contains("count = 0"), "got: {e}");
+
+        let e = parse("[[allow]]\nlint = \"unwrap\"\npath = \"x\"\ncount = 1\n").unwrap_err();
+        assert!(e.contains("reason"), "got: {e}");
+
+        let dup = "[[allow]]\nlint = \"unwrap\"\npath = \"x\"\ncount = 1\nreason = \"r\"\n\
+                   [[allow]]\nlint = \"unwrap\"\npath = \"x\"\ncount = 2\nreason = \"r\"\n";
+        let e = parse(dup).unwrap_err();
+        assert!(e.contains("duplicates"), "got: {e}");
+
+        let e = parse(
+            "[[allow]]\nlint = \"unwrap\"\npath = \"x\"\ncount = 1\nreason = \"r\"\ntypo = 1\n",
+        )
+        .unwrap_err();
+        assert!(e.contains("typo"), "got: {e}");
+    }
+
+    #[test]
+    fn exact_counts_suppress_and_drift_fails_both_ways() {
+        let entries = vec![AllowEntry {
+            lint: Lint::UnwrapExpect,
+            path: "a.rs".to_string(),
+            count: 2,
+            reason: "r".to_string(),
+        }];
+        let two = vec![
+            finding(Lint::UnwrapExpect, "a.rs", 1),
+            finding(Lint::UnwrapExpect, "a.rs", 9),
+        ];
+        assert!(apply(&two, &entries).is_empty());
+
+        let three = [two.clone(), vec![finding(Lint::UnwrapExpect, "a.rs", 20)]].concat();
+        let problems = apply(&three, &entries);
+        assert!(
+            problems.iter().any(|p| p.contains("3 site(s)")),
+            "{problems:?}"
+        );
+
+        let one = vec![finding(Lint::UnwrapExpect, "a.rs", 1)];
+        let problems = apply(&one, &entries);
+        assert!(problems.iter().any(|p| p.contains("stale")), "{problems:?}");
+
+        let problems = apply(&[], &entries);
+        assert!(problems.iter().any(|p| p.contains("stale")), "{problems:?}");
+    }
+
+    #[test]
+    fn unlisted_findings_are_violations() {
+        let problems = apply(&[finding(Lint::HashContainer, "b.rs", 4)], &[]);
+        assert_eq!(problems.len(), 1);
+        assert!(problems[0].contains("b.rs:4"), "{problems:?}");
+    }
+}

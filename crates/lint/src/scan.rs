@@ -1,0 +1,318 @@
+//! The hand-rolled `.rs` lexer behind the source pass.
+//!
+//! The determinism lints are substring checks, so the only hard problem
+//! is *not matching* text that merely talks about a pattern: `HashMap` in
+//! a doc comment, `".unwrap()"` inside a string literal, `Instant::now()`
+//! in a `#[cfg(test)]` module. [`mask_source`] solves this once for all
+//! lints: it returns the source with comment bodies, string/char-literal
+//! contents and `#[cfg(test)]` items blanked to spaces while preserving
+//! every newline, so the line numbers of the masked text map 1:1 onto the
+//! original file and the lint checks can stay dumb substring scans.
+//!
+//! This is a line-faithful lexer, not a parser: it understands nested
+//! block comments, escaped and raw strings (any `#` count), byte strings,
+//! char literals vs. lifetimes, and attribute-prefixed test items — the
+//! subset of Rust's lexical grammar needed to avoid false positives,
+//! hand-rolled in the repo's offline style (no rustc plugin, no syn).
+
+/// Returns `text` with comments, string/char-literal contents and
+/// `#[cfg(test)]` items replaced by spaces. Newlines are preserved, so
+/// line `n` of the result is line `n` of the input.
+#[must_use]
+pub fn mask_source(text: &str) -> String {
+    let mut chars: Vec<char> = text.chars().collect();
+    blank_comments_and_literals(&mut chars);
+    blank_cfg_test_items(&mut chars);
+    chars.into_iter().collect()
+}
+
+fn is_ident(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_'
+}
+
+/// Blanks `chars[from..to]` to spaces, preserving newlines.
+fn blank(chars: &mut [char], from: usize, to: usize) {
+    for c in chars[from..to].iter_mut() {
+        if *c != '\n' {
+            *c = ' ';
+        }
+    }
+}
+
+fn blank_comments_and_literals(chars: &mut [char]) {
+    let n = chars.len();
+    let mut i = 0;
+    while i < n {
+        let c = chars[i];
+        // Line comment (covers `//`, `///`, `//!`).
+        if c == '/' && chars.get(i + 1) == Some(&'/') {
+            let start = i;
+            while i < n && chars[i] != '\n' {
+                i += 1;
+            }
+            blank(chars, start, i);
+            continue;
+        }
+        // Block comment, possibly nested (covers `/* */`, `/** */`).
+        if c == '/' && chars.get(i + 1) == Some(&'*') {
+            let start = i;
+            let mut depth = 1usize;
+            i += 2;
+            while i < n && depth > 0 {
+                if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
+                    depth += 1;
+                    i += 2;
+                } else if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            blank(chars, start, i);
+            continue;
+        }
+        // Raw (byte) string: r"...", r#"..."#, br"..." etc.
+        if (c == 'r' || c == 'b') && (i == 0 || !is_ident(chars[i - 1])) {
+            if let Some(end) = raw_string_end(chars, i) {
+                blank(chars, i, end);
+                i = end;
+                continue;
+            }
+        }
+        // Ordinary (byte) string with escapes.
+        if c == '"' {
+            let start = i;
+            i += 1;
+            while i < n {
+                if chars[i] == '\\' {
+                    i += 2;
+                } else if chars[i] == '"' {
+                    i += 1;
+                    break;
+                } else {
+                    i += 1;
+                }
+            }
+            blank(chars, start, i.min(n));
+            continue;
+        }
+        // Char literal vs. lifetime: 'x' and '\n' are literals, 'a in
+        // `&'a str` is not (no closing quote in the next two positions).
+        if c == '\'' {
+            if chars.get(i + 1) == Some(&'\\') {
+                let start = i;
+                i += 2; // skip the backslash and the escaped char
+                while i < n && chars[i] != '\'' {
+                    i += 1;
+                }
+                i = (i + 1).min(n);
+                blank(chars, start, i);
+                continue;
+            }
+            if chars.get(i + 2) == Some(&'\'') {
+                blank(chars, i, i + 3);
+                i += 3;
+                continue;
+            }
+        }
+        i += 1;
+    }
+}
+
+/// If `chars[i..]` starts a raw-string literal (after an optional `b`),
+/// returns the index one past its closing delimiter.
+fn raw_string_end(chars: &[char], i: usize) -> Option<usize> {
+    let mut j = i;
+    if chars.get(j) == Some(&'b') {
+        j += 1;
+    }
+    if chars.get(j) != Some(&'r') {
+        return None;
+    }
+    j += 1;
+    let mut hashes = 0usize;
+    while chars.get(j) == Some(&'#') {
+        hashes += 1;
+        j += 1;
+    }
+    if chars.get(j) != Some(&'"') {
+        return None;
+    }
+    j += 1;
+    // Scan for `"` followed by `hashes` `#`s.
+    while j < chars.len() {
+        if chars[j] == '"'
+            && chars[j + 1..]
+                .iter()
+                .take(hashes)
+                .filter(|&&c| c == '#')
+                .count()
+                == hashes
+        {
+            return Some(j + 1 + hashes);
+        }
+        j += 1;
+    }
+    Some(chars.len())
+}
+
+/// Blanks every item annotated `#[cfg(test)]` (typically `mod tests { .. }`),
+/// including any further attributes between the cfg and the item.
+fn blank_cfg_test_items(chars: &mut [char]) {
+    const MARKER: &[char] = &['#', '[', 'c', 'f', 'g', '(', 't', 'e', 's', 't', ')', ']'];
+    let n = chars.len();
+    let mut i = 0;
+    while i + MARKER.len() <= n {
+        if chars[i..i + MARKER.len()] != *MARKER {
+            i += 1;
+            continue;
+        }
+        let start = i;
+        let mut j = i + MARKER.len();
+        // Skip whitespace and further attributes (`#[derive(..)]` etc).
+        loop {
+            while j < n && chars[j].is_whitespace() {
+                j += 1;
+            }
+            if j < n && chars[j] == '#' && chars.get(j + 1) == Some(&'[') {
+                while j < n && chars[j] != ']' {
+                    j += 1;
+                }
+                j = (j + 1).min(n);
+            } else {
+                break;
+            }
+        }
+        // The item runs to its matching closing brace, or to `;` for
+        // brace-less items (`mod tests;`).
+        let mut depth = 0usize;
+        while j < n {
+            match chars[j] {
+                '{' => depth += 1,
+                // A close brace at depth 0 belongs to an enclosing scope:
+                // stop without consuming it rather than underflowing.
+                '}' if depth == 0 => break,
+                '}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        j += 1;
+                        break;
+                    }
+                }
+                ';' if depth == 0 => {
+                    j += 1;
+                    break;
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        blank(chars, start, j);
+        i = j;
+    }
+}
+
+/// True when `line` contains `word` as a standalone identifier (not as a
+/// substring of a longer identifier like `FxHashMap`).
+#[must_use]
+pub fn contains_word(line: &str, word: &str) -> bool {
+    let bytes = line.as_bytes();
+    let mut from = 0;
+    while let Some(pos) = line[from..].find(word) {
+        let at = from + pos;
+        let before_ok = at == 0 || !is_ident(bytes[at - 1] as char);
+        let end = at + word.len();
+        let after_ok = end >= bytes.len() || !is_ident(bytes[end] as char);
+        if before_ok && after_ok {
+            return true;
+        }
+        from = at + 1;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_are_blanked_lines_preserved() {
+        let src = "let a = 1; // HashMap here\n/* Instant::now()\n spans lines */ let b = 2;\n";
+        let masked = mask_source(src);
+        assert_eq!(masked.lines().count(), src.lines().count());
+        assert!(!masked.contains("HashMap"));
+        assert!(!masked.contains("Instant"));
+        assert!(masked.contains("let a = 1;"));
+        assert!(masked.contains("let b = 2;"));
+    }
+
+    #[test]
+    fn doc_comments_are_blanked() {
+        let src = "//! uses HashMap internally\n/// calls .unwrap() on it\nfn f() {}\n";
+        let masked = mask_source(src);
+        assert!(!masked.contains("HashMap"));
+        assert!(!masked.contains(".unwrap()"));
+        assert!(masked.contains("fn f() {}"));
+    }
+
+    #[test]
+    fn string_contents_are_blanked() {
+        let src = r#"let msg = "call .unwrap() on a HashMap"; let x = s.len();"#;
+        let masked = mask_source(src);
+        assert!(!masked.contains("unwrap"));
+        assert!(!masked.contains("HashMap"));
+        assert!(masked.contains("let x = s.len();"));
+    }
+
+    #[test]
+    fn raw_strings_and_escapes_are_blanked() {
+        let src =
+            "let a = r#\"Instant::now() \"quoted\" here\"#; let b = \"esc \\\" HashSet\"; b.len();";
+        let masked = mask_source(src);
+        assert!(!masked.contains("Instant"));
+        assert!(!masked.contains("HashSet"));
+        assert!(masked.contains("b.len();"));
+    }
+
+    #[test]
+    fn char_literals_blank_but_lifetimes_survive() {
+        let src = "fn f<'a>(x: &'a str) -> char { let q = '\"'; let h = '#'; q }";
+        let masked = mask_source(src);
+        assert!(
+            masked.contains("&'a str"),
+            "lifetime must survive: {masked}"
+        );
+        // The `'"'` char literal must not open a string.
+        assert!(masked.contains("q }"), "masked: {masked}");
+    }
+
+    #[test]
+    fn cfg_test_modules_are_blanked_entirely() {
+        let src = "fn real() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\nfn after() {}\n";
+        let masked = mask_source(src);
+        assert!(!masked.contains("unwrap"));
+        assert!(masked.contains("fn real() {}"));
+        assert!(masked.contains("fn after() {}"));
+        assert_eq!(masked.lines().count(), src.lines().count());
+    }
+
+    #[test]
+    fn cfg_test_functions_with_extra_attributes_are_blanked() {
+        let src =
+            "#[cfg(test)]\n#[allow(dead_code)]\nfn helper() { Instant::now(); }\nfn live() {}\n";
+        let masked = mask_source(src);
+        assert!(!masked.contains("Instant"));
+        assert!(masked.contains("fn live() {}"));
+    }
+
+    #[test]
+    fn word_boundaries_exclude_longer_identifiers() {
+        assert!(contains_word("let m: HashMap<u64, u64> = x;", "HashMap"));
+        assert!(contains_word("std::collections::HashMap::new()", "HashMap"));
+        assert!(!contains_word("let m = FxHashMap::default();", "HashMap"));
+        assert!(!contains_word("type HashMapLike = ();", "HashMap"));
+        assert!(contains_word("Instant::now()", "Instant"));
+        assert!(!contains_word("InstantReplay::go()", "Instant"));
+    }
+}

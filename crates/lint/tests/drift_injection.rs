@@ -1,0 +1,125 @@
+//! Drift-injection tests: the gate must fail loudly on seeded
+//! violations, not only pass on the fixed tree.
+//!
+//! Each test builds a minimal temporary "workspace" (a `Cargo.toml`
+//! marker plus one model-crate source file), seeds a known violation,
+//! and runs the real `lint_gate` binary against it — proving the gate's
+//! wiring end to end, the same way the accuracy/perf gates prove their
+//! differs on corrupted baselines.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+/// Creates a unique temp workspace with the given sim-crate source and
+/// allowlist, returning its root.
+fn fixture_tree(tag: &str, sim_source: &str, allowlist: &str) -> PathBuf {
+    let root = std::env::temp_dir().join(format!("iss-lint-drift-{}-{tag}", std::process::id()));
+    // A stale tree from an earlier run of the same pid is fine to replace.
+    let _ = std::fs::remove_dir_all(&root);
+    let src = root.join("crates/sim/src");
+    std::fs::create_dir_all(&src).expect("create fixture tree");
+    std::fs::write(root.join("Cargo.toml"), "[workspace]\n").expect("write marker");
+    std::fs::write(src.join("lib.rs"), sim_source).expect("write source");
+    std::fs::create_dir_all(root.join("ci")).expect("create ci dir");
+    std::fs::write(root.join("ci/lint_allow.toml"), allowlist).expect("write allowlist");
+    // A clean spec so pass 2 has something to chew on.
+    let specs = root.join("examples/scenarios");
+    std::fs::create_dir_all(&specs).expect("create specs dir");
+    std::fs::write(
+        specs.join("ok.toml"),
+        "schema = \"iss-scenario/v1\"\nname = \"ok\"\n[workload]\nkind = \"single\"\n\
+         benchmark = \"gcc\"\nlength = 1000\n",
+    )
+    .expect("write spec");
+    root
+}
+
+fn run_gate(root: &Path) -> (bool, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_lint_gate"))
+        .arg("--root")
+        .arg(root)
+        .output()
+        .expect("run lint_gate");
+    let text = format!(
+        "{}{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    (out.status.success(), text)
+}
+
+const CLEAN_LIB: &str = "#![forbid(unsafe_code)]\n#![warn(missing_docs)]\n//! fixture\n\
+                         /// f\npub fn f() -> u64 { 1 }\n";
+
+#[test]
+fn gate_passes_on_a_clean_tree() {
+    let root = fixture_tree("clean", CLEAN_LIB, "");
+    let (ok, text) = run_gate(&root);
+    assert!(ok, "clean tree must pass:\n{text}");
+    assert!(text.contains("lint_gate: PASS"), "{text}");
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn gate_fails_on_a_seeded_hashmap() {
+    let src = "#![forbid(unsafe_code)]\n#![warn(missing_docs)]\n//! fixture\n\
+               use std::collections::HashMap;\n/// f\npub fn f() -> usize {\n    \
+               let m: HashMap<u64, u64> = HashMap::new();\n    m.len()\n}\n";
+    let root = fixture_tree("hashmap", src, "");
+    let (ok, text) = run_gate(&root);
+    assert!(!ok, "seeded HashMap::new() must fail the gate:\n{text}");
+    assert!(text.contains("hash-container"), "{text}");
+    assert!(text.contains("lib.rs"), "{text}");
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn gate_fails_on_a_seeded_wall_clock_read() {
+    let src = "#![forbid(unsafe_code)]\n#![warn(missing_docs)]\n//! fixture\n\
+               use std::time::Instant;\n/// f\npub fn f() -> f64 {\n    \
+               Instant::now().elapsed().as_secs_f64()\n}\n";
+    let root = fixture_tree("instant", src, "");
+    let (ok, text) = run_gate(&root);
+    assert!(!ok, "seeded Instant::now() must fail the gate:\n{text}");
+    assert!(text.contains("wall-clock"), "{text}");
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn gate_fails_on_a_stale_allowlist_entry() {
+    // The allowlist claims one unwrap site but the tree is clean: the
+    // ratchet must force the entry to be removed.
+    let allow = "[[allow]]\nlint = \"unwrap\"\npath = \"crates/sim/src/lib.rs\"\n\
+                 count = 1\nreason = \"gone\"\n";
+    let root = fixture_tree("stale", CLEAN_LIB, allow);
+    let (ok, text) = run_gate(&root);
+    assert!(!ok, "stale allowlist entry must fail the gate:\n{text}");
+    assert!(text.contains("stale"), "{text}");
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn gate_suppresses_exactly_budgeted_sites() {
+    let src = "#![forbid(unsafe_code)]\n#![warn(missing_docs)]\n//! fixture\n\
+               /// f\npub fn f(x: Option<u64>) -> u64 { x.unwrap() }\n";
+    let allow = "[[allow]]\nlint = \"unwrap\"\npath = \"crates/sim/src/lib.rs\"\n\
+                 count = 1\nreason = \"fixture\"\n";
+    let root = fixture_tree("budget", src, allow);
+    let (ok, text) = run_gate(&root);
+    assert!(ok, "exactly-budgeted site must pass:\n{text}");
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn gate_flags_the_duplicate_point_fixture_spec() {
+    // Point pass 2 at the checked-in fixture: a spec that validates
+    // cleanly but expands two variants to the same canonical digest.
+    let root = fixture_tree("dupspec", CLEAN_LIB, "");
+    let fixture = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/dup-point.toml");
+    let specs = root.join("examples/scenarios");
+    std::fs::copy(&fixture, specs.join("dup-point.toml")).expect("copy fixture");
+    let (ok, text) = run_gate(&root);
+    assert!(!ok, "duplicate design point must fail the gate:\n{text}");
+    assert!(text.contains("duplicate design point"), "{text}");
+    let _ = std::fs::remove_dir_all(&root);
+}

@@ -56,14 +56,27 @@ pub fn parse_thread_count(value: Option<&str>) -> Result<usize, String> {
 /// variable when set to a positive integer, otherwise the host's available
 /// parallelism (1 if that cannot be determined).
 ///
+/// # Errors
+///
+/// Returns a message naming the offending value when `ISS_THREADS` is set
+/// to `0` or to a non-numeric value (see [`parse_thread_count`]) — the
+/// typed-error path for callers that can surface the message themselves
+/// (the scenario engine, the `iss` CLI).
+pub fn try_configured_threads() -> Result<usize, String> {
+    let value = std::env::var("ISS_THREADS").ok();
+    parse_thread_count(value.as_deref())
+}
+
+/// Panicking convenience over [`try_configured_threads`] for binaries with
+/// no error channel of their own.
+///
 /// # Panics
 ///
 /// Panics with a clear message when `ISS_THREADS` is set to `0` or to a
 /// non-numeric value (see [`parse_thread_count`]).
 #[must_use]
 pub fn configured_threads() -> usize {
-    let value = std::env::var("ISS_THREADS").ok();
-    parse_thread_count(value.as_deref()).unwrap_or_else(|e| panic!("{e}"))
+    try_configured_threads().unwrap_or_else(|e| panic!("{e}"))
 }
 
 fn default_threads() -> usize {
@@ -111,7 +124,20 @@ pub fn parse_scale(value: Option<&str>) -> Result<ExperimentScale, String> {
 }
 
 /// Reads the experiment scale from `ISS_EXPERIMENT_SCALE` (see
-/// [`parse_scale`] for the accepted values).
+/// [`parse_scale`] for the accepted values) — the typed-error path for
+/// callers that can surface the message themselves.
+///
+/// # Errors
+///
+/// Returns a message naming the offending value when the variable is set
+/// to an unknown keyword, `0`, or a non-positive/overflowing number.
+pub fn try_scale_from_env() -> Result<ExperimentScale, String> {
+    let value = std::env::var("ISS_EXPERIMENT_SCALE").ok();
+    parse_scale(value.as_deref())
+}
+
+/// Panicking convenience over [`try_scale_from_env`] for binaries with no
+/// error channel of their own.
 ///
 /// # Panics
 ///
@@ -120,8 +146,7 @@ pub fn parse_scale(value: Option<&str>) -> Result<ExperimentScale, String> {
 /// running at the wrong scale.
 #[must_use]
 pub fn scale_from_env() -> ExperimentScale {
-    let value = std::env::var("ISS_EXPERIMENT_SCALE").ok();
-    parse_scale(value.as_deref()).unwrap_or_else(|e| panic!("{e}"))
+    try_scale_from_env().unwrap_or_else(|e| panic!("{e}"))
 }
 
 #[cfg(test)]

@@ -16,7 +16,7 @@
 //! `(spec, config, workload, seed)` point produces bit-identical canonical
 //! records at any `ISS_THREADS`.
 
-use std::time::Instant;
+use iss_trace::host_time::HostTimer;
 
 use serde::{Deserialize, Serialize};
 
@@ -230,7 +230,7 @@ pub fn run_hybrid(
         spec.interval_insts > 0,
         "hybrid interval quantum must be non-zero"
     );
-    let start = Instant::now();
+    let start = HostTimer::start();
     let mut controller = SwapController::new(spec);
     let mut machine = AnyMachine::build(controller.initial_model(), config, workload);
     while !machine.is_done() {
@@ -261,7 +261,7 @@ pub fn run_hybrid(
     summary.swaps = controller.swaps();
     // The machines accumulate their own advancement time, but a hybrid run
     // also pays for checkpoints and warm restores; report the whole run.
-    summary.host_seconds = start.elapsed().as_secs_f64();
+    summary.host_seconds = start.elapsed_seconds();
     summary
 }
 

@@ -34,12 +34,15 @@ pub mod config;
 pub mod env;
 pub mod experiments;
 pub mod hybrid;
+/// Re-export of the workspace's single wall-clock portal (see [`iss_trace::host_time`]).
+pub use iss_trace::host_time;
 pub mod metrics;
 pub mod model;
 pub mod report;
 pub mod runner;
 pub mod sampling;
 pub mod scenario;
+pub mod tomldoc;
 pub mod workload;
 
 pub use batch::{run_batch, run_batch_with_threads, SimJob};

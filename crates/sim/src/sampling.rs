@@ -45,7 +45,7 @@
 //! stream is ever cloned — and consecutive measured units keep the machine
 //! alive, so `sample_every = 1` degenerates to the pure measurement model.
 
-use std::time::Instant;
+use iss_trace::host_time::HostTimer;
 
 use serde::{Deserialize, Serialize};
 
@@ -532,7 +532,7 @@ pub fn run_sampled(
 ) -> SimSummary {
     spec.validate()
         .unwrap_or_else(|e| panic!("invalid sampling spec: {e}"));
-    let start = Instant::now();
+    let start = HostTimer::start();
     let num_cores = workload.num_cores();
     let (raw_streams, sync) = workload.into_parts();
     let mut phase = Phase::Functional(FunctionalState::fresh(
@@ -573,7 +573,7 @@ pub fn run_sampled(
         // functional-warming units.
         let sampled = !in_prefix && (unit - prefix_units) % period == period - 1;
         if in_prefix || sampled {
-            let t0 = Instant::now();
+            let t0 = HostTimer::start();
             let mut machine = match phase {
                 Phase::Timed(m) => m,
                 Phase::Functional(fs) => {
@@ -586,8 +586,8 @@ pub fn run_sampled(
                     AnyMachine::restore(spec.measure, config, fs.into_checkpoint(spec.measure))
                 }
             };
-            t_restore += t0.elapsed().as_secs_f64();
-            let t0 = Instant::now();
+            t_restore += t0.elapsed_seconds();
+            let t0 = HostTimer::start();
             // A sampled unit opens with a warmup prefix (excluded from the
             // sample); prefix units are continuous with the preceding unit,
             // so everything they run is counted exactly.
@@ -620,18 +620,18 @@ pub fn run_sampled(
                     }
                 }
             }
-            t_measure += t0.elapsed().as_secs_f64();
+            t_measure += t0.elapsed_seconds();
             phase = Phase::Timed(machine);
         } else {
-            let t0 = Instant::now();
+            let t0 = HostTimer::start();
             let mut fs = match phase {
                 Phase::Timed(m) => {
                     FunctionalState::from_checkpoint(m.into_lean_checkpoint(), config)
                 }
                 Phase::Functional(fs) => fs,
             };
-            t_extract += t0.elapsed().as_secs_f64();
-            let t0 = Instant::now();
+            t_extract += t0.elapsed_seconds();
+            let t0 = HostTimer::start();
             let latency_before = fs.memory.stats().totals().latency_cycles;
             let consumed = fs.advance(spec.unit_insts);
             if consumed > 0 {
@@ -642,7 +642,7 @@ pub fn run_sampled(
                     cpi: None,
                 });
             }
-            t_warm += t0.elapsed().as_secs_f64();
+            t_warm += t0.elapsed_seconds();
             fast_forwarded += consumed;
             let stuck = consumed == 0 && !fs.all_done();
             phase = Phase::Functional(fs);
@@ -736,7 +736,7 @@ pub fn run_sampled(
         cycles,
         per_core,
         total_instructions,
-        host_seconds: start.elapsed().as_secs_f64(),
+        host_seconds: start.elapsed_seconds(),
         memory,
         swaps,
         sampling: Some(estimate),

@@ -47,7 +47,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::batch::{run_batch_with_threads, SimJob};
 use crate::config::SystemConfig;
-use crate::env::configured_threads;
+use crate::env::try_configured_threads;
 use crate::runner::CoreModel;
 use crate::workload::WorkloadSpec;
 
@@ -369,11 +369,12 @@ impl SweepSpec {
     ///
     /// # Errors
     ///
-    /// Propagates expansion/validation errors; simulation panics inside a
-    /// job surface as panics (they indicate bugs, not bad specs — every
-    /// spec-level defect is caught by validation first).
+    /// Propagates expansion/validation errors and a malformed
+    /// `ISS_THREADS` value (via [`try_configured_threads`]); simulation
+    /// panics inside a job surface as panics (they indicate bugs, not bad
+    /// specs — every spec-level defect is caught by validation first).
     pub fn run(&self) -> Result<Vec<Record>, String> {
-        self.run_with_threads(configured_threads())
+        self.run_with_threads(try_configured_threads()?)
     }
 
     /// [`SweepSpec::run`] on an explicit worker count. The frontier sweeps

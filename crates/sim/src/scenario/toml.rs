@@ -42,6 +42,7 @@
 //! ```
 
 use crate::runner::CoreModel;
+use crate::tomldoc::{section_label, ArraySpec, Doc, DocSpec};
 use crate::workload::WorkloadSpec;
 
 use super::machine::{MachineBaseline, MachineSpec};
@@ -51,327 +52,16 @@ use super::{ScenarioSpec, SweepSpec, Template};
 /// Schema marker every scenario file must carry.
 pub const SCHEMA: &str = "iss-scenario/v1";
 
-#[derive(Debug, Clone, PartialEq)]
-enum Value {
-    Str(String),
-    Int(u64),
-    Bool(bool),
-    StrList(Vec<String>),
-    IntList(Vec<u64>),
-}
-
-impl Value {
-    fn type_name(&self) -> &'static str {
-        match self {
-            Value::Str(_) => "string",
-            Value::Int(_) => "integer",
-            Value::Bool(_) => "boolean",
-            Value::StrList(_) => "string array",
-            Value::IntList(_) => "integer array",
-        }
-    }
-}
-
-struct Entry {
-    section: String,
-    key: String,
-    value: Value,
-    line: usize,
-    used: bool,
-}
-
-struct Doc {
-    entries: Vec<Entry>,
-    /// Number of `[[scenario]]` blocks seen.
-    scenarios: usize,
-}
-
-impl Doc {
-    fn take(&mut self, section: &str, key: &str) -> Option<(Value, usize)> {
-        self.entries
-            .iter_mut()
-            .find(|e| !e.used && e.section == section && e.key == key)
-            .map(|e| {
-                e.used = true;
-                (e.value.clone(), e.line)
-            })
-    }
-
-    fn has_section(&self, section: &str) -> bool {
-        self.entries.iter().any(|e| e.section == section)
-    }
-
-    fn unused(&self) -> Option<&Entry> {
-        self.entries.iter().find(|e| !e.used)
-    }
-}
-
-fn strip_comment(line: &str) -> &str {
-    let mut in_string = false;
-    for (i, c) in line.char_indices() {
-        match c {
-            '"' => in_string = !in_string,
-            '#' if !in_string => return &line[..i],
-            _ => {}
-        }
-    }
-    line
-}
-
-fn parse_scalar(text: &str, line_no: usize) -> Result<Value, String> {
-    let t = text.trim();
-    if let Some(rest) = t.strip_prefix('"') {
-        let Some(body) = rest.strip_suffix('"') else {
-            return Err(format!("line {line_no}: unterminated string `{t}`"));
-        };
-        if body.contains('"') {
-            return Err(format!(
-                "line {line_no}: embedded quotes are not supported in `{t}`"
-            ));
-        }
-        return Ok(Value::Str(body.to_string()));
-    }
-    match t {
-        "true" => return Ok(Value::Bool(true)),
-        "false" => return Ok(Value::Bool(false)),
-        _ => {}
-    }
-    if t.starts_with('-') {
-        return Err(format!(
-            "line {line_no}: negative numbers are not valid in scenario files (`{t}`)"
-        ));
-    }
-    t.parse::<u64>()
-        .map(Value::Int)
-        .map_err(|_| format!("line {line_no}: `{t}` is not a string, boolean or unsigned integer"))
-}
-
-fn parse_value(text: &str, line_no: usize) -> Result<Value, String> {
-    let t = text.trim();
-    let Some(list_body) = t.strip_prefix('[') else {
-        return parse_scalar(t, line_no);
-    };
-    let Some(body) = list_body.strip_suffix(']') else {
-        return Err(format!(
-            "line {line_no}: unterminated array `{t}` (arrays must close on the same line)"
-        ));
-    };
-    let mut strs = Vec::new();
-    let mut ints = Vec::new();
-    let body = body.trim();
-    if body.is_empty() {
-        return Ok(Value::StrList(Vec::new()));
-    }
-    for element in split_top_level_commas(body) {
-        match parse_scalar(&element, line_no)? {
-            Value::Str(s) => strs.push(s),
-            Value::Int(n) => ints.push(n),
-            other => {
-                return Err(format!(
-                    "line {line_no}: arrays may hold strings or integers, not {}",
-                    other.type_name()
-                ))
-            }
-        }
-    }
-    match (strs.is_empty(), ints.is_empty()) {
-        (false, true) => Ok(Value::StrList(strs)),
-        (true, false) => Ok(Value::IntList(ints)),
-        _ => Err(format!(
-            "line {line_no}: arrays must be homogeneous (all strings or all integers)"
-        )),
-    }
-}
-
-fn split_top_level_commas(body: &str) -> Vec<String> {
-    let mut out = Vec::new();
-    let mut current = String::new();
-    let mut in_string = false;
-    for c in body.chars() {
-        match c {
-            '"' => {
-                in_string = !in_string;
-                current.push(c);
-            }
-            ',' if !in_string => {
-                out.push(current.trim().to_string());
-                current.clear();
-            }
-            _ => current.push(c),
-        }
-    }
-    out.push(current.trim().to_string());
-    out
-}
-
-const KNOWN_SECTIONS: [&str; 4] = ["machine", "workload", "sweep", "model"];
-
-fn parse_doc(text: &str) -> Result<Doc, String> {
-    let mut doc = Doc {
-        entries: Vec::new(),
-        scenarios: 0,
-    };
-    // The section every following `key = value` line lands in; scenario
-    // blocks get an index so each block is its own namespace.
-    let mut section = String::new();
-    for (i, raw) in text.lines().enumerate() {
-        let line_no = i + 1;
-        let line = strip_comment(raw).trim().to_string();
-        if line.is_empty() {
-            continue;
-        }
-        if let Some(header) = line.strip_prefix("[[").and_then(|h| h.strip_suffix("]]")) {
-            if header.trim() != "scenario" {
-                return Err(format!(
-                    "line {line_no}: only [[scenario]] table arrays are supported, got [[{header}]]"
-                ));
-            }
-            section = format!("scenario.{}", doc.scenarios);
-            doc.scenarios += 1;
-            continue;
-        }
-        if let Some(header) = line.strip_prefix('[').and_then(|h| h.strip_suffix(']')) {
-            let header = header.trim();
-            if let Some(sub) = header.strip_prefix("scenario.") {
-                if doc.scenarios == 0 {
-                    return Err(format!(
-                        "line {line_no}: [scenario.{sub}] appears before any [[scenario]] block"
-                    ));
-                }
-                if !matches!(sub, "machine" | "workload") {
-                    return Err(format!(
-                        "line {line_no}: unknown scenario subsection [scenario.{sub}] \
-                         (known: machine, workload)"
-                    ));
-                }
-                section = format!("scenario.{}.{sub}", doc.scenarios - 1);
-            } else if KNOWN_SECTIONS.contains(&header) {
-                section = header.to_string();
-            } else {
-                return Err(format!(
-                    "line {line_no}: unknown section [{header}] \
-                     (known: machine, workload, sweep, and [[scenario]] blocks)"
-                ));
-            }
-            continue;
-        }
-        let Some((key, value_text)) = line.split_once('=') else {
-            return Err(format!(
-                "line {line_no}: expected `key = value`, a [section] header or a comment, \
-                 got `{line}`"
-            ));
-        };
-        let key = key.trim().to_string();
-        if key.is_empty() || !key.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
-            return Err(format!("line {line_no}: malformed key `{key}`"));
-        }
-        let value = parse_value(value_text, line_no)?;
-        if doc
-            .entries
-            .iter()
-            .any(|e| e.section == section && e.key == key)
-        {
-            return Err(format!(
-                "line {line_no}: duplicate key `{key}` in {}",
-                section_label(&section)
-            ));
-        }
-        doc.entries.push(Entry {
-            section: section.clone(),
-            key,
-            value,
-            line: line_no,
-            used: false,
-        });
-    }
-    Ok(doc)
-}
-
-fn section_label(section: &str) -> String {
-    if section.is_empty() {
-        "the top level".to_string()
-    } else {
-        format!("[{section}]")
-    }
-}
-
-// --- typed accessors -------------------------------------------------------
-
-fn take_str(doc: &mut Doc, section: &str, key: &str) -> Result<Option<String>, String> {
-    match doc.take(section, key) {
-        None => Ok(None),
-        Some((Value::Str(s), _)) => Ok(Some(s)),
-        Some((other, line)) => Err(format!(
-            "line {line}: `{key}` must be a string, got a {}",
-            other.type_name()
-        )),
-    }
-}
-
-fn take_u64(doc: &mut Doc, section: &str, key: &str) -> Result<Option<u64>, String> {
-    match doc.take(section, key) {
-        None => Ok(None),
-        Some((Value::Int(n), _)) => Ok(Some(n)),
-        Some((other, line)) => Err(format!(
-            "line {line}: `{key}` must be an unsigned integer, got a {}",
-            other.type_name()
-        )),
-    }
-}
-
-fn take_bool(doc: &mut Doc, section: &str, key: &str) -> Result<Option<bool>, String> {
-    match doc.take(section, key) {
-        None => Ok(None),
-        Some((Value::Bool(b), _)) => Ok(Some(b)),
-        Some((other, line)) => Err(format!(
-            "line {line}: `{key}` must be a boolean, got a {}",
-            other.type_name()
-        )),
-    }
-}
-
-fn take_str_list(doc: &mut Doc, section: &str, key: &str) -> Result<Option<Vec<String>>, String> {
-    match doc.take(section, key) {
-        None => Ok(None),
-        Some((Value::StrList(v), _)) => Ok(Some(v)),
-        Some((Value::Str(s), _)) => Ok(Some(vec![s])),
-        Some((other, line)) => Err(format!(
-            "line {line}: `{key}` must be an array of strings, got a {}",
-            other.type_name()
-        )),
-    }
-}
-
-fn take_u64_list(doc: &mut Doc, section: &str, key: &str) -> Result<Option<Vec<u64>>, String> {
-    match doc.take(section, key) {
-        None => Ok(None),
-        Some((Value::IntList(v), _)) => Ok(Some(v)),
-        Some((Value::Int(n), _)) => Ok(Some(vec![n])),
-        Some((other, line)) => Err(format!(
-            "line {line}: `{key}` must be an array of unsigned integers, got a {}",
-            other.type_name()
-        )),
-    }
-}
-
-/// [`take_u64`] narrowed to a target integer type, rejecting out-of-range
-/// values instead of truncating them.
-fn take_narrow<T: TryFrom<u64>>(
-    doc: &mut Doc,
-    section: &str,
-    key: &str,
-) -> Result<Option<T>, String> {
-    match doc.take(section, key) {
-        None => Ok(None),
-        Some((Value::Int(n), line)) => T::try_from(n)
-            .map(Some)
-            .map_err(|_| format!("line {line}: `{key}` value {n} is out of range for this knob")),
-        Some((other, line)) => Err(format!(
-            "line {line}: `{key}` must be an unsigned integer, got a {}",
-            other.type_name()
-        )),
-    }
-}
+/// The document shape of a scenario file, fed to the shared
+/// [`crate::tomldoc`] codec: four fixed sections plus `[[scenario]]`
+/// blocks with `machine`/`workload` subsections.
+const SCENARIO_DOC: DocSpec = DocSpec {
+    sections: &["machine", "workload", "sweep", "model"],
+    array: Some(ArraySpec {
+        name: "scenario",
+        subsections: &["machine", "workload"],
+    }),
+};
 
 // --- section builders ------------------------------------------------------
 
@@ -383,10 +73,10 @@ fn machine_from(doc: &mut Doc, section: &str, base: MachineSpec) -> Result<Machi
         return Ok(base);
     }
     let mut m = base;
-    if let Some(name) = take_str(doc, section, "baseline")? {
+    if let Some(name) = doc.take_str(section, "baseline")? {
         m.baseline = MachineBaseline::parse(&name)?;
     }
-    if let Some(cores) = take_narrow::<usize>(doc, section, "cores")? {
+    if let Some(cores) = doc.take_narrow::<usize>(section, "cores")? {
         m.cores = Some(cores);
     }
     let o = &mut m.overrides;
@@ -397,26 +87,26 @@ fn machine_from(doc: &mut Doc, section: &str, base: MachineSpec) -> Result<Machi
         ("perfect_l2", &mut o.perfect_l2),
         ("no_l2", &mut o.no_l2),
     ] {
-        if let Some(b) = take_bool(doc, section, key)? {
+        if let Some(b) = doc.take_bool(section, key)? {
             *field = b;
         }
     }
-    if let Some(w) = take_narrow::<u32>(doc, section, "dispatch_width")? {
+    if let Some(w) = doc.take_narrow::<u32>(section, "dispatch_width")? {
         o.dispatch_width = Some(w);
     }
-    if let Some(w) = take_narrow::<usize>(doc, section, "window_size")? {
+    if let Some(w) = doc.take_narrow::<usize>(section, "window_size")? {
         o.window_size = Some(w);
     }
-    if let Some(l) = take_u64(doc, section, "dram_latency")? {
+    if let Some(l) = doc.take_u64(section, "dram_latency")? {
         o.dram_latency = Some(l);
     }
-    if let Some(kb) = take_u64(doc, section, "l2_size_kb")? {
+    if let Some(kb) = doc.take_u64(section, "l2_size_kb")? {
         o.l2_size_kb = Some(kb);
     }
-    if let Some(b) = take_bool(doc, section, "overlap_effects")? {
+    if let Some(b) = doc.take_bool(section, "overlap_effects")? {
         o.overlap_effects = Some(b);
     }
-    if let Some(b) = take_bool(doc, section, "old_window_reset")? {
+    if let Some(b) = doc.take_bool(section, "old_window_reset")? {
         o.old_window_reset = Some(b);
     }
     Ok(m)
@@ -432,16 +122,18 @@ fn workload_from(
         return Ok(None);
     }
     let where_ = section_label(section);
-    let kind = take_str(doc, section, "kind")?
+    let kind = doc
+        .take_str(section, "kind")?
         .ok_or_else(|| format!("{where_} is missing its `kind` key"))?;
-    let length = take_u64(doc, section, "length")?
+    let length = doc
+        .take_u64(section, "length")?
         .ok_or_else(|| format!("{where_} is missing its `length` key"))?;
 
     // Only the keys the declared kind actually uses are consumed; a stray
     // `threads` on a `single` workload stays unused and trips the
     // unknown-key check — it must not be silently ignored.
     let one_benchmark = |doc: &mut Doc| -> Result<String, String> {
-        take_str(doc, section, "benchmark")?
+        doc.take_str(section, "benchmark")?
             .or_else(|| placeholder_benchmark.map(str::to_string))
             .ok_or_else(|| {
                 format!(
@@ -451,7 +143,7 @@ fn workload_from(
             })
     };
     let width = |doc: &mut Doc, key: &str| -> Result<usize, String> {
-        take_narrow::<usize>(doc, section, key)?
+        doc.take_narrow::<usize>(section, key)?
             .or(placeholder_cores)
             .ok_or_else(|| {
                 format!("{where_} names no `{key}` and the sweep has no cores axis to supply one")
@@ -469,7 +161,7 @@ fn workload_from(
             length_per_copy: length,
         },
         "multiprogram" => WorkloadSpec::Multiprogram {
-            benchmarks: take_str_list(doc, section, "benchmarks")?.ok_or_else(|| {
+            benchmarks: doc.take_str_list(section, "benchmarks")?.ok_or_else(|| {
                 format!("{where_} with kind = \"multiprogram\" needs a `benchmarks` array")
             })?,
             length_per_copy: length,
@@ -499,8 +191,8 @@ impl SweepSpec {
     /// type mismatches, malformed model strings, workload shapes missing
     /// required fields.
     pub fn from_toml(text: &str) -> Result<Self, String> {
-        let mut doc = parse_doc(text)?;
-        match take_str(&mut doc, "", "schema")? {
+        let mut doc = Doc::parse(text, &SCENARIO_DOC)?;
+        match doc.take_str("", "schema")? {
             Some(s) if s == SCHEMA => {}
             Some(s) => {
                 return Err(format!(
@@ -509,27 +201,33 @@ impl SweepSpec {
             }
             None => return Err(format!("missing `schema = \"{SCHEMA}\"` marker")),
         }
-        let name = take_str(&mut doc, "", "name")?.ok_or("missing top-level `name` key")?;
+        let name = doc
+            .take_str("", "name")?
+            .ok_or("missing top-level `name` key")?;
 
         // Axes first: they supply placeholders for templates that omit the
         // swept field.
-        let models = take_str_list(&mut doc, "sweep", "models")?
+        let models = doc
+            .take_str_list("sweep", "models")?
             .unwrap_or_default()
             .iter()
             .map(|s| parse_model(s))
             .collect::<Result<Vec<_>, _>>()?;
-        let benchmarks = take_str_list(&mut doc, "sweep", "benchmarks")?.unwrap_or_default();
-        let cores: Vec<usize> = take_u64_list(&mut doc, "sweep", "cores")?
+        let benchmarks = doc
+            .take_str_list("sweep", "benchmarks")?
+            .unwrap_or_default();
+        let cores: Vec<usize> = doc
+            .take_u64_list("sweep", "cores")?
             .unwrap_or_default()
             .iter()
             .map(|&n| n as usize)
             .collect();
-        let seeds = take_u64_list(&mut doc, "sweep", "seeds")?.unwrap_or_default();
+        let seeds = doc.take_u64_list("sweep", "seeds")?.unwrap_or_default();
         let placeholder_benchmark = benchmarks.first().map(String::as_str);
         let placeholder_cores = cores.first().copied();
 
-        let base_seed = take_u64(&mut doc, "", "seed")?.unwrap_or(42);
-        let base_model = match take_str(&mut doc, "", "model")? {
+        let base_seed = doc.take_u64("", "seed")?.unwrap_or(42);
+        let base_model = match doc.take_str("", "model")? {
             Some(s) => parse_model(&s)?,
             None => CoreModel::Interval,
         };
@@ -541,7 +239,7 @@ impl SweepSpec {
             placeholder_cores,
         )?;
 
-        let templates = if doc.scenarios == 0 {
+        let templates = if doc.blocks() == 0 {
             vec![Template {
                 variant: None,
                 machine: base_machine,
@@ -551,15 +249,15 @@ impl SweepSpec {
                 seed: base_seed,
             }]
         } else {
-            let mut templates = Vec::with_capacity(doc.scenarios);
-            for i in 0..doc.scenarios {
+            let mut templates = Vec::with_capacity(doc.blocks());
+            for i in 0..doc.blocks() {
                 let section = format!("scenario.{i}");
-                let variant = take_str(&mut doc, &section, "variant")?;
-                let model = match take_str(&mut doc, &section, "model")? {
+                let variant = doc.take_str(&section, "variant")?;
+                let model = match doc.take_str(&section, "model")? {
                     Some(s) => parse_model(&s)?,
                     None => base_model,
                 };
-                let seed = take_u64(&mut doc, &section, "seed")?.unwrap_or(base_seed);
+                let seed = doc.take_u64(&section, "seed")?.unwrap_or(base_seed);
                 let machine = machine_from(&mut doc, &format!("{section}.machine"), base_machine)?;
                 let workload = workload_from(
                     &mut doc,

@@ -40,6 +40,7 @@ pub mod catalog;
 pub mod checkpoint;
 pub mod fastfwd;
 pub mod fxmap;
+pub mod host_time;
 pub mod inst;
 pub mod profile;
 pub mod stream;
@@ -49,6 +50,7 @@ pub mod threaded;
 pub use checkpoint::{CheckpointStream, CoreResume};
 pub use fastfwd::fast_forward;
 pub use fxmap::{FxHashMap, FxHashSet};
+pub use host_time::HostTimer;
 pub use inst::{BranchClass, BranchInfo, DynInst, MemAccess, OpClass, RegId};
 pub use profile::{BranchBehavior, MemoryBehavior, MixWeights, SyncBehavior, WorkloadProfile};
 pub use stream::{InstructionStream, SyntheticStream};

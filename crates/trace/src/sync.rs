@@ -73,8 +73,10 @@ pub struct SyncController {
     barrier_arrived: Vec<Option<u64>>,
     /// Number of threads that finished their stream entirely.
     finished: Vec<bool>,
-    /// Lock id -> holding thread.
-    locks: std::collections::HashMap<u64, ThreadId>,
+    /// Lock id -> holding thread. A `BTreeMap` keeps the controller free of
+    /// any hash-order dependence: lock bookkeeping is pure keyed lookup, and
+    /// an ordered map makes that property structural rather than incidental.
+    locks: std::collections::BTreeMap<u64, ThreadId>,
     /// Current blocking state per thread.
     state: Vec<BlockReason>,
     /// Statistics: barrier episodes completed.
@@ -93,7 +95,7 @@ impl SyncController {
             num_threads,
             barrier_arrived: vec![None; num_threads],
             finished: vec![false; num_threads],
-            locks: std::collections::HashMap::new(),
+            locks: std::collections::BTreeMap::new(),
             state: vec![BlockReason::Running; num_threads],
             barriers_completed: 0,
             contended_acquires: 0,
@@ -313,6 +315,45 @@ mod tests {
         s.mark_finished(1);
         assert!(!s.is_blocked(0));
         assert!(s.join(0, 1), "joining a finished thread does not block");
+    }
+
+    #[test]
+    fn lock_handoff_is_order_independent() {
+        // Drive the same contention scenario over many distinct lock ids
+        // (so a hash-ordered map would visit them in a scrambled order) and
+        // check the observable outcome is identical to replaying the same
+        // operations one lock at a time. Blocked-waiter wakeup must depend
+        // only on thread numbering, never on map iteration order.
+        let ids: Vec<u64> = (0..64).map(|i| i * 0x9e37_79b9 + 7).collect();
+
+        let mut interleaved = SyncController::new(3);
+        for &id in &ids {
+            assert!(interleaved.try_acquire(0, id));
+        }
+        for &id in &ids {
+            assert!(!interleaved.try_acquire(2, id));
+            assert!(!interleaved.try_acquire(1, id));
+        }
+        for &id in ids.iter().rev() {
+            interleaved.release(0, id);
+        }
+
+        let mut sequential = SyncController::new(3);
+        for &id in &ids {
+            assert!(sequential.try_acquire(0, id));
+            assert!(!sequential.try_acquire(2, id));
+            assert!(!sequential.try_acquire(1, id));
+            sequential.release(0, id);
+        }
+
+        // In both schedules every lock must have been handed to the
+        // lowest-numbered waiter: thread 2 stays blocked, thread 1 runs.
+        for s in [&interleaved, &sequential] {
+            assert!(!s.is_blocked(1), "lowest-numbered waiter must be woken");
+            assert!(s.is_blocked(2), "higher-numbered waiter stays blocked");
+        }
+        assert_eq!(interleaved.lock_contention(), sequential.lock_contention());
+        assert_eq!(interleaved.block_reason(2), sequential.block_reason(2));
     }
 
     #[test]

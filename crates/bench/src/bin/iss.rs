@@ -3,16 +3,30 @@
 //! ```text
 //! iss run <spec.toml | builtin-name> [--threads N] [--reference VARIANT]
 //!                                    [--json PATH]
+//!                                    [--shard K/N | --jobs I,J,...]
+//! iss sweep <spec.toml | builtin-name> [--shards N] [--checkpoint PATH]
+//!                                      [--resume] [--json PATH] [--jsonl PATH]
 //! iss validate <spec.toml | directory>...
 //! iss lint <spec.toml | directory>...
 //! iss list [directory]
 //! iss export <builtin-name> [path]
+//! iss export <spec.toml | builtin-name> --jsonl [path]
 //! ```
 //!
 //! `run` executes a scenario file (or a built-in figure sweep by name)
 //! through the generic engine and prints the unified record table plus,
 //! when the sweep carries a reference variant (`detailed` by default), the
-//! comparison view (CPI error, host-time speedup, CI coverage).
+//! comparison view (CPI error, host-time speedup, CI coverage). With
+//! `--shard K/N` or `--jobs I,J,...` it instead becomes the *child* of a
+//! sharded sweep: it runs the selected expansion-order jobs serially and
+//! streams one `Record` JSON line per job to stdout (no tables).
+//! `sweep` is the fault-tolerant supervisor over those children: it
+//! partitions the job list across `--shards` child processes, contains
+//! crashes/panics/wedges/malformed output (retry with capped backoff,
+//! bisect to the poison job, quarantine it as a structured failure row),
+//! keeps a resumable write-ahead checkpoint, and merges deterministically.
+//! Knobs: `ISS_SHARDS`, `ISS_SHARD_RETRIES`, `ISS_JOB_TIMEOUT_MS`, and
+//! the test hook `ISS_FAULT_INJECT=<panic|exit|stall>:<job>`.
 //! `validate` parses and expands specs without simulating anything — every
 //! structural defect a run would hit (unknown keys, unknown benchmarks,
 //! core-count mismatches, invalid configs) fails here, loudly.
@@ -32,10 +46,14 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use iss_bench::scenarios::{builtin_sweep, is_wall_clock_frontier, BUILTINS};
-use iss_sim::env::{try_configured_threads, try_scale_from_env};
+use iss_sim::env::{
+    try_configured_threads, try_job_timeout_from_env, try_retries_from_env, try_scale_from_env,
+    try_shards_from_env,
+};
 use iss_sim::experiments::ExperimentScale;
 use iss_sim::report;
-use iss_sim::scenario::render_records_json;
+use iss_sim::scenario::{render_records_json, render_records_jsonl};
+use iss_sim::shard::{run_shard_jobs, run_sharded_sweep, shard_job_indices, ShardOptions};
 use iss_sim::SweepSpec;
 
 const DEFAULT_SCENARIO_DIR: &str = "examples/scenarios";
@@ -43,8 +61,11 @@ const DEFAULT_SCENARIO_DIR: &str = "examples/scenarios";
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  iss run <spec.toml | builtin> [--threads N] [--reference VARIANT] \
-         [--json PATH]\n  iss validate <spec.toml | directory>...\n  iss lint <spec.toml | \
-         directory>...\n  iss list [directory]\n  iss export <builtin> [path]"
+         [--json PATH] [--shard K/N | --jobs I,J,...]\n  iss sweep <spec.toml | builtin> \
+         [--shards N] [--checkpoint PATH] [--resume] [--json PATH] [--jsonl PATH]\n  \
+         iss validate <spec.toml | directory>...\n  iss lint <spec.toml | \
+         directory>...\n  iss list [directory]\n  iss export <builtin> [path]\n  \
+         iss export <spec.toml | builtin> --jsonl [path]"
     );
     ExitCode::FAILURE
 }
@@ -53,6 +74,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("run") => run(&args[1..]),
+        Some("sweep") => sweep(&args[1..]),
         Some("validate") => validate(&args[1..]),
         Some("lint") => lint(&args[1..]),
         Some("list") => list(&args[1..]),
@@ -74,6 +96,12 @@ fn export(args: &[String]) -> ExitCode {
     let Some(name) = args.first() else {
         return usage();
     };
+    // `--jsonl` switches export from "emit the spec as TOML" to "run the
+    // sweep and emit its records as line-delimited JSON" — one `Record`
+    // object per line, quarantine rows included.
+    if args.iter().any(|a| a == "--jsonl") {
+        return export_jsonl(name, args.iter().skip(1).find(|a| *a != "--jsonl"));
+    }
     let scale = match cli_scale("export") {
         Ok(scale) => scale,
         Err(code) => return code,
@@ -84,6 +112,35 @@ fn export(args: &[String]) -> ExitCode {
     };
     let text = sweep.to_toml();
     match args.get(1) {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &text) {
+                eprintln!("iss export: cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!("wrote {path}");
+        }
+        None => print!("{text}"),
+    }
+    ExitCode::SUCCESS
+}
+
+/// `iss export <target> --jsonl [path]`: runs the sweep and writes the
+/// JSONL columnar record stream to `path` (or stdout).
+fn export_jsonl(target: &str, path: Option<&String>) -> ExitCode {
+    let result = load(target)
+        .and_then(|sweep| {
+            let threads = try_configured_threads()?;
+            sweep.run_with_threads(threads)
+        })
+        .map(|records| render_records_jsonl(&records));
+    let text = match result {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("iss export: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match path {
         Some(path) => {
             if let Err(e) = std::fs::write(path, &text) {
                 eprintln!("iss export: cannot write {path}: {e}");
@@ -113,11 +170,34 @@ fn load(target: &str) -> Result<SweepSpec, String> {
     }
 }
 
+/// Parses a `--shard K/N` operand.
+fn parse_shard_of(value: &str) -> Result<(usize, usize), String> {
+    let err = || format!("--shard needs the form K/N (e.g. 0/4), got `{value}`");
+    let (k, n) = value.split_once('/').ok_or_else(err)?;
+    let k = k.trim().parse::<usize>().map_err(|_| err())?;
+    let n = n.trim().parse::<usize>().map_err(|_| err())?;
+    Ok((k, n))
+}
+
+/// Parses a `--jobs I,J,...` operand.
+fn parse_job_list(value: &str) -> Result<Vec<usize>, String> {
+    value
+        .split(',')
+        .map(|part| {
+            part.trim()
+                .parse::<usize>()
+                .map_err(|_| format!("--jobs needs comma-separated job indices, got `{value}`"))
+        })
+        .collect()
+}
+
 fn run(args: &[String]) -> ExitCode {
     let mut target = None;
     let mut threads = None;
     let mut reference = None;
     let mut json_path: Option<PathBuf> = None;
+    let mut shard_of: Option<(usize, usize)> = None;
+    let mut job_list: Option<Vec<usize>> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -142,6 +222,28 @@ fn run(args: &[String]) -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--shard" => match it.next().map(|v| parse_shard_of(v)) {
+                Some(Ok(pair)) => shard_of = Some(pair),
+                Some(Err(e)) => {
+                    eprintln!("iss run: {e}");
+                    return ExitCode::FAILURE;
+                }
+                None => {
+                    eprintln!("iss run: --shard needs a K/N operand");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--jobs" => match it.next().map(|v| parse_job_list(v)) {
+                Some(Ok(list)) => job_list = Some(list),
+                Some(Err(e)) => {
+                    eprintln!("iss run: {e}");
+                    return ExitCode::FAILURE;
+                }
+                None => {
+                    eprintln!("iss run: --jobs needs a comma-separated index list");
+                    return ExitCode::FAILURE;
+                }
+            },
             other if !other.starts_with("--") && target.is_none() => {
                 target = Some(other.to_string());
             }
@@ -154,6 +256,10 @@ fn run(args: &[String]) -> ExitCode {
     let Some(target) = target else {
         return usage();
     };
+    if shard_of.is_some() && job_list.is_some() {
+        eprintln!("iss run: --shard and --jobs are mutually exclusive");
+        return ExitCode::FAILURE;
+    }
     let sweep = match load(&target) {
         Ok(sweep) => sweep,
         Err(e) => {
@@ -168,6 +274,28 @@ fn run(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    // Child mode of a sharded sweep: run the selected jobs serially and
+    // stream one Record JSON line per job — no tables, no summaries.
+    if shard_of.is_some() || job_list.is_some() {
+        let indices = match shard_of {
+            Some((k, n)) => match shard_job_indices(points.len(), k, n) {
+                Ok(indices) => indices,
+                Err(e) => {
+                    eprintln!("iss run: {e}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            None => job_list.unwrap_or_default(),
+        };
+        let mut stdout = std::io::stdout().lock();
+        return match run_shard_jobs(&sweep, &indices, &mut stdout) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("iss run: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     // A sweep whose rows compare host wall-clocks (the hybrid/sampling
     // frontiers by name, or any sweep mixing hybrid/sampled variants with
     // references) runs on one worker by default: concurrent jobs
@@ -226,6 +354,154 @@ fn run(args: &[String]) -> ExitCode {
         }
         println!("\nwrote {}", path.display());
     }
+    ExitCode::SUCCESS
+}
+
+/// The fault-tolerant sharded supervisor: partitions the sweep's job list
+/// across child `iss run --jobs ...` processes, contains child deaths, and
+/// merges deterministically. Exits 0 even when jobs were quarantined — the
+/// quarantine rows *are* the report; only spec/infrastructure defects fail.
+fn sweep(args: &[String]) -> ExitCode {
+    let mut target = None;
+    let mut shards: Option<usize> = None;
+    let mut checkpoint: Option<PathBuf> = None;
+    let mut resume = false;
+    let mut json_path: Option<PathBuf> = None;
+    let mut jsonl_path: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--shards" => match it.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) if n > 0 => shards = Some(n),
+                _ => {
+                    eprintln!("iss sweep: --shards needs a positive integer");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--checkpoint" => match it.next() {
+                Some(v) => checkpoint = Some(PathBuf::from(v)),
+                None => {
+                    eprintln!("iss sweep: --checkpoint needs a path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--resume" => resume = true,
+            "--json" => match it.next() {
+                Some(v) => json_path = Some(PathBuf::from(v)),
+                None => {
+                    eprintln!("iss sweep: --json needs an output path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--jsonl" => match it.next() {
+                Some(v) => jsonl_path = Some(PathBuf::from(v)),
+                None => {
+                    eprintln!("iss sweep: --jsonl needs an output path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other if !other.starts_with("--") && target.is_none() => {
+                target = Some(other.to_string());
+            }
+            other => {
+                eprintln!("iss sweep: unexpected argument `{other}`");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let Some(target) = target else {
+        return usage();
+    };
+    let sweep = match load(&target) {
+        Ok(sweep) => sweep,
+        Err(e) => {
+            eprintln!("iss sweep: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let points = match sweep.expand() {
+        Ok(points) => points,
+        Err(e) => {
+            eprintln!("iss sweep: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // Flag > environment > host parallelism, all strictly parsed.
+    let mut options = match (|| -> Result<ShardOptions, String> {
+        let shards = match shards {
+            Some(n) => n,
+            None => try_shards_from_env()?,
+        };
+        let mut options = ShardOptions::new(shards.min(points.len().max(1)));
+        options.retries = try_retries_from_env()?;
+        options.job_timeout_ms = try_job_timeout_from_env()?;
+        Ok(options)
+    })() {
+        Ok(options) => options,
+        Err(e) => {
+            eprintln!("iss sweep: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    options.checkpoint =
+        Some(checkpoint.unwrap_or_else(|| PathBuf::from(format!("iss-sweep-{}.ckpt", sweep.name))));
+    options.resume = resume;
+    let exe = match std::env::current_exe() {
+        Ok(exe) => exe,
+        Err(e) => {
+            eprintln!("iss sweep: cannot locate my own executable: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "sharded sweep `{}`: {} job(s) across {} shard(s)",
+        sweep.name,
+        points.len(),
+        options.shards
+    );
+    let mut launcher = |task: &iss_sim::ShardTask| {
+        let list: Vec<String> = task.jobs.iter().map(usize::to_string).collect();
+        let mut cmd = std::process::Command::new(&exe);
+        cmd.arg("run")
+            .arg(&target)
+            .arg("--jobs")
+            .arg(list.join(","));
+        cmd
+    };
+    let outcome = match run_sharded_sweep(&sweep, &options, &mut launcher) {
+        Ok(outcome) => outcome,
+        Err(e) => {
+            eprintln!("iss sweep: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!();
+    print!(
+        "{}",
+        report::format_records_table(&sweep.name, &outcome.records)
+    );
+    if let Some(path) = jsonl_path {
+        if let Err(e) = std::fs::write(&path, render_records_jsonl(&outcome.records)) {
+            eprintln!("iss sweep: cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        println!("\nwrote {}", path.display());
+    }
+    if let Some(path) = json_path {
+        if let Err(e) = std::fs::write(&path, render_records_json(&outcome.records)) {
+            eprintln!("iss sweep: cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        println!("\nwrote {}", path.display());
+    }
+    println!(
+        "\nsweep complete: {} record(s), {} quarantined, {} resumed from checkpoint, \
+         {} child dispatch(es)",
+        outcome.records.len(),
+        outcome.quarantined,
+        outcome.resumed,
+        outcome.dispatches
+    );
     ExitCode::SUCCESS
 }
 

@@ -1,0 +1,304 @@
+//! End-to-end tests of the fault-tolerant sharded sweep: a real `iss`
+//! supervisor driving real `iss run --jobs` child processes over pipes,
+//! with faults injected through `ISS_FAULT_INJECT`.
+//!
+//! Fault variables are set **per child Command**, never via
+//! `std::env::set_var`, so parallel test threads cannot contaminate each
+//! other.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+use iss_sim::scenario::{parse_records_jsonl, Record};
+
+/// A six-job sweep (3 benchmarks × 2 models) small enough that a full
+/// run takes well under a second per job.
+const TINY_SPEC: &str = "\
+schema = \"iss-scenario/v1\"
+name = \"tinysweep\"
+seed = 7
+model = \"interval\"
+
+[machine]
+baseline = \"hpca2010\"
+
+[workload]
+kind = \"single\"
+benchmark = \"gcc\"
+length = 2000
+
+[sweep]
+models = [\"detailed\", \"interval\"]
+benchmarks = [\"gcc\", \"mcf\", \"gzip\"]
+";
+
+const TINY_JOBS: usize = 6;
+
+/// A fresh scratch directory per test; the pid keeps concurrent
+/// `cargo test` invocations apart.
+fn workdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("iss-sharded-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    std::fs::write(dir.join("tiny.toml"), TINY_SPEC).expect("write spec");
+    dir
+}
+
+fn iss(dir: &Path, args: &[&str], envs: &[(&str, &str)]) -> Output {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_iss"));
+    cmd.current_dir(dir).args(args);
+    for (key, value) in envs {
+        cmd.env(key, value);
+    }
+    cmd.output().expect("spawn iss")
+}
+
+fn records_from(dir: &Path, file: &str) -> Vec<Record> {
+    let text = std::fs::read_to_string(dir.join(file))
+        .unwrap_or_else(|e| panic!("cannot read {file}: {e}"));
+    parse_records_jsonl(&text).expect("parse jsonl records")
+}
+
+fn canonical(records: &[Record]) -> Vec<String> {
+    records.iter().map(Record::canonical).collect()
+}
+
+fn stdout_of(output: &Output) -> String {
+    String::from_utf8_lossy(&output.stdout).into_owned()
+}
+
+/// Runs the unfaulted single-shard sweep and returns its records — the
+/// reference every fault schedule must reproduce.
+fn reference_records(dir: &Path) -> Vec<Record> {
+    let output = iss(
+        dir,
+        &[
+            "sweep",
+            "tiny.toml",
+            "--shards",
+            "1",
+            "--checkpoint",
+            "ref.ckpt",
+            "--jsonl",
+            "ref.jsonl",
+        ],
+        &[],
+    );
+    assert!(
+        output.status.success(),
+        "reference sweep failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    records_from(dir, "ref.jsonl")
+}
+
+/// The merged record stream is canonically identical no matter how many
+/// shards executed the sweep.
+#[test]
+fn multi_shard_merge_matches_the_single_shard_run() {
+    let dir = workdir("merge");
+    let reference = reference_records(&dir);
+    assert_eq!(reference.len(), TINY_JOBS);
+    for shards in ["2", "3"] {
+        let ckpt = format!("s{shards}.ckpt");
+        let out = format!("s{shards}.jsonl");
+        let output = iss(
+            &dir,
+            &[
+                "sweep",
+                "tiny.toml",
+                "--shards",
+                shards,
+                "--checkpoint",
+                &ckpt,
+                "--jsonl",
+                &out,
+            ],
+            &[],
+        );
+        assert!(output.status.success(), "{shards}-shard sweep failed");
+        assert_eq!(
+            canonical(&records_from(&dir, &out)),
+            canonical(&reference),
+            "{shards}-shard merge diverged from the single-shard reference"
+        );
+    }
+}
+
+/// An injected child death (clean `exit` and `panic!`) quarantines exactly
+/// the poison job; every other record still matches the unfaulted
+/// reference, and the supervisor exits 0.
+#[test]
+fn injected_process_deaths_quarantine_only_the_poison_job() {
+    let dir = workdir("deaths");
+    let reference = reference_records(&dir);
+    for (spec, kind) in [("exit:3", "crash"), ("panic:2", "panic")] {
+        let poison: usize = spec
+            .split_once(':')
+            .expect("spec has a colon")
+            .1
+            .parse()
+            .expect("poison index");
+        let out = format!("fault-{kind}.jsonl");
+        let output = iss(
+            &dir,
+            &[
+                "sweep",
+                "tiny.toml",
+                "--shards",
+                "2",
+                "--checkpoint",
+                &format!("fault-{kind}.ckpt"),
+                "--jsonl",
+                &out,
+            ],
+            &[("ISS_FAULT_INJECT", spec), ("ISS_SHARD_RETRIES", "0")],
+        );
+        assert!(
+            output.status.success(),
+            "a quarantined job must not fail the sweep ({spec}): {}",
+            String::from_utf8_lossy(&output.stderr)
+        );
+        let records = records_from(&dir, &out);
+        assert_eq!(records.len(), TINY_JOBS);
+        for (i, (record, wanted)) in records.iter().zip(&reference).enumerate() {
+            if i == poison {
+                let failure = record
+                    .failure
+                    .as_ref()
+                    .unwrap_or_else(|| panic!("job {i} must be quarantined under {spec}"));
+                assert_eq!(failure.kind.name(), kind, "failure kind under {spec}");
+                assert_eq!(failure.job, poison);
+            } else {
+                assert_eq!(
+                    record.canonical(),
+                    wanted.canonical(),
+                    "healthy job {i} diverged under {spec}"
+                );
+            }
+        }
+        assert!(
+            stdout_of(&output).contains("1 quarantined"),
+            "summary must count the quarantined job"
+        );
+    }
+}
+
+/// A wedged child (injected stall) trips the per-shard progress deadline,
+/// is killed, and bisection pins the quarantine on the stalled job alone.
+#[test]
+fn an_injected_stall_times_out_and_quarantines_the_stalled_job() {
+    let dir = workdir("stall");
+    let reference = reference_records(&dir);
+    let output = iss(
+        &dir,
+        &[
+            "sweep",
+            "tiny.toml",
+            "--shards",
+            "2",
+            "--checkpoint",
+            "stall.ckpt",
+            "--jsonl",
+            "stall.jsonl",
+        ],
+        &[
+            ("ISS_FAULT_INJECT", "stall:4"),
+            ("ISS_SHARD_RETRIES", "0"),
+            // Far above any real tiny job (tens of ms), far below the
+            // test-suite timeout.
+            ("ISS_JOB_TIMEOUT_MS", "2000"),
+        ],
+    );
+    assert!(output.status.success());
+    let records = records_from(&dir, "stall.jsonl");
+    let quarantined: Vec<usize> = records
+        .iter()
+        .enumerate()
+        .filter(|(_, r)| r.is_quarantined())
+        .map(|(i, _)| i)
+        .collect();
+    assert_eq!(quarantined, [4], "exactly the stalled job is quarantined");
+    let failure = records[4].failure.as_ref().expect("structured failure");
+    assert_eq!(failure.kind.name(), "timeout");
+    assert!(
+        failure.message.contains("2000 ms"),
+        "timeout message names the deadline: {}",
+        failure.message
+    );
+    for i in [0, 1, 2, 3, 5] {
+        assert_eq!(records[i].canonical(), reference[i].canonical());
+    }
+}
+
+/// `--resume` replays the intact checkpoint prefix — torn trailing line
+/// included — and re-executes only the jobs that are missing from it.
+#[test]
+fn a_resumed_sweep_reuses_the_checkpoint_and_reruns_the_rest() {
+    let dir = workdir("resume");
+    let reference = reference_records(&dir);
+    // Keep the header plus two record lines, then simulate a crash mid-write
+    // with a torn third record.
+    let full = std::fs::read_to_string(dir.join("ref.ckpt")).expect("read checkpoint");
+    let lines: Vec<&str> = full.lines().collect();
+    assert_eq!(lines.len(), 1 + TINY_JOBS, "header plus one line per job");
+    let torn = &lines[3][..lines[3].len() / 2];
+    let truncated = format!("{}\n{}\n{}\n{torn}", lines[0], lines[1], lines[2]);
+    std::fs::write(dir.join("torn.ckpt"), truncated).expect("write torn checkpoint");
+    let output = iss(
+        &dir,
+        &[
+            "sweep",
+            "tiny.toml",
+            "--shards",
+            "2",
+            "--checkpoint",
+            "torn.ckpt",
+            "--resume",
+            "--jsonl",
+            "resumed.jsonl",
+        ],
+        &[],
+    );
+    assert!(
+        output.status.success(),
+        "resume failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    assert!(
+        stdout_of(&output).contains("2 resumed from checkpoint"),
+        "exactly the two intact records are resumed:\n{}",
+        stdout_of(&output)
+    );
+    assert_eq!(
+        canonical(&records_from(&dir, "resumed.jsonl")),
+        canonical(&reference),
+        "resumed merge diverged from the reference"
+    );
+}
+
+/// Resuming against a checkpoint from a different sweep is refused loudly
+/// instead of silently merging foreign records.
+#[test]
+fn a_foreign_checkpoint_is_refused() {
+    let dir = workdir("foreign");
+    let _ = reference_records(&dir);
+    let full = std::fs::read_to_string(dir.join("ref.ckpt")).expect("read checkpoint");
+    let header = full.lines().next().expect("checkpoint header");
+    let marker = "\"digest\": \"";
+    let start = header.find(marker).expect("digest field") + marker.len();
+    let end = start + header[start..].find('"').expect("closing quote");
+    let tampered = format!("{}beefbeefbeefbeef{}\n", &header[..start], &header[end..]);
+    std::fs::write(dir.join("bad.ckpt"), tampered).expect("write tampered checkpoint");
+    let output = iss(
+        &dir,
+        &["sweep", "tiny.toml", "--checkpoint", "bad.ckpt", "--resume"],
+        &[],
+    );
+    assert!(!output.status.success(), "tampered checkpoint must fail");
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        stderr.contains("different sweep"),
+        "error names the mismatch: {stderr}"
+    );
+}

@@ -22,6 +22,7 @@ use std::sync::Mutex;
 
 use crate::config::SystemConfig;
 use crate::runner::{run, CoreModel, SimSummary};
+use crate::scenario::fnv1a_hex;
 use crate::workload::WorkloadSpec;
 
 /// One independent simulation point of a sweep.
@@ -48,24 +49,128 @@ impl SimJob {
             seed,
         }
     }
-}
 
-/// A job that panicked inside the batch engine.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct JobPanic {
-    /// Index of the job in the submitted list.
-    pub job: usize,
-    /// The panic payload, stringified.
-    pub message: String,
-}
-
-impl std::fmt::Display for JobPanic {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "job {} panicked: {}", self.job, self.message)
+    /// FNV-1a digest of the `(config, workload, model, seed)` point. This
+    /// is the same encoding `ScenarioSpec::digest` resolves to, so a job's
+    /// digest and the digest of the scenario that produced it agree.
+    #[must_use]
+    pub fn digest(&self) -> String {
+        fnv1a_hex(&format!(
+            "{:?}|{:?}|{}|{}",
+            self.config,
+            self.workload,
+            self.model.name(),
+            self.seed
+        ))
     }
 }
 
-impl std::error::Error for JobPanic {}
+/// How a job (or the shard process executing it) failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureKind {
+    /// The job panicked inside an in-process batch worker.
+    Panic,
+    /// The shard process executing the job exited with a non-zero status
+    /// (a child panic, `std::process::exit`, OOM kill, ...).
+    Crash,
+    /// The shard process made no progress within the job deadline and was
+    /// killed by the supervisor.
+    Timeout,
+    /// The shard process emitted output the supervisor could not parse, or
+    /// exited cleanly while leaving assigned jobs unreported.
+    MalformedOutput,
+}
+
+impl FailureKind {
+    /// Stable key used in reports, checkpoint files and JSONL records.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            FailureKind::Panic => "panic",
+            FailureKind::Crash => "crash",
+            FailureKind::Timeout => "timeout",
+            FailureKind::MalformedOutput => "malformed-output",
+        }
+    }
+
+    /// Parses a [`FailureKind::name`] key back.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the known kinds for anything else.
+    pub fn parse(key: &str) -> Result<FailureKind, String> {
+        match key {
+            "panic" => Ok(FailureKind::Panic),
+            "crash" => Ok(FailureKind::Crash),
+            "timeout" => Ok(FailureKind::Timeout),
+            "malformed-output" => Ok(FailureKind::MalformedOutput),
+            other => Err(format!(
+                "unknown failure kind `{other}` (known: panic, crash, timeout, malformed-output)"
+            )),
+        }
+    }
+}
+
+/// A job that failed: which point it was, how it failed, and after how many
+/// attempts. Structured so a failed job can be reported as a quarantined
+/// record row (benchmark, seed, model, config digest) instead of a
+/// stringified panic payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobFailure {
+    /// Index of the job in the submitted list (= sweep expansion order).
+    pub job: usize,
+    /// Label of the job's workload (the benchmark, or the multiprogram
+    /// mix label).
+    pub workload: String,
+    /// Workload generation seed.
+    pub seed: u64,
+    /// Model string of the job (`interval`, `hybrid-periodic-4@2000`, ...).
+    pub model: String,
+    /// Config digest of the job (see [`SimJob::digest`]).
+    pub digest: String,
+    /// How the job failed.
+    pub kind: FailureKind,
+    /// Failure detail (panic payload, exit status, deadline description).
+    pub message: String,
+    /// How many times the job was attempted before it was given up on.
+    pub attempts: u32,
+}
+
+impl JobFailure {
+    /// Failure record for a job that panicked in-process on its first
+    /// attempt.
+    #[must_use]
+    pub fn panicked(job: usize, spec: &SimJob, message: String) -> Self {
+        JobFailure {
+            job,
+            workload: spec.workload.label(),
+            seed: spec.seed,
+            model: spec.model.name(),
+            digest: spec.digest(),
+            kind: FailureKind::Panic,
+            message,
+            attempts: 1,
+        }
+    }
+}
+
+impl std::fmt::Display for JobFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "job {} ({}, seed {}, model {}, digest {}) {}: {}",
+            self.job,
+            self.workload,
+            self.seed,
+            self.model,
+            self.digest,
+            self.kind.name(),
+            self.message
+        )
+    }
+}
+
+impl std::error::Error for JobFailure {}
 
 // Strict `ISS_THREADS` parsing lives in the shared [`crate::env`] module;
 // re-exported here because the worker count is this module's contract.
@@ -91,16 +196,13 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
 pub fn try_run_batch_with_threads(
     jobs: &[SimJob],
     threads: usize,
-) -> Vec<Result<SimSummary, JobPanic>> {
+) -> Vec<Result<SimSummary, JobFailure>> {
     let execute = |i: usize| {
         let job = &jobs[i];
         catch_unwind(AssertUnwindSafe(|| {
             run(job.model, &job.config, &job.workload, job.seed)
         }))
-        .map_err(|payload| JobPanic {
-            job: i,
-            message: panic_message(payload),
-        })
+        .map_err(|payload| JobFailure::panicked(i, job, panic_message(payload)))
     };
 
     let threads = threads.max(1).min(jobs.len().max(1));
@@ -112,7 +214,7 @@ pub fn try_run_batch_with_threads(
     // Results are written into per-job slots, so ordering is by construction
     // identical to the serial path.
     let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<Result<SimSummary, JobPanic>>>> =
+    let slots: Vec<Mutex<Option<Result<SimSummary, JobFailure>>>> =
         jobs.iter().map(|_| Mutex::new(None)).collect();
     std::thread::scope(|scope| {
         for _ in 0..threads {
@@ -138,7 +240,7 @@ pub fn try_run_batch_with_threads(
 
 /// [`try_run_batch_with_threads`] with the [`configured_threads`] worker
 /// count.
-pub fn try_run_batch(jobs: &[SimJob]) -> Vec<Result<SimSummary, JobPanic>> {
+pub fn try_run_batch(jobs: &[SimJob]) -> Vec<Result<SimSummary, JobFailure>> {
     try_run_batch_with_threads(jobs, configured_threads())
 }
 
@@ -240,6 +342,14 @@ mod tests {
         let err = out[1].as_ref().expect_err("poisoned job must fail alone");
         assert_eq!(err.job, 1);
         assert!(err.message.contains("doom"), "got: {}", err.message);
+        // The failure is structured: it carries the point's coordinates,
+        // not just the stringified panic payload.
+        assert_eq!(err.kind, FailureKind::Panic);
+        assert_eq!(err.workload, "doom");
+        assert_eq!(err.seed, 7);
+        assert_eq!(err.model, "interval");
+        assert_eq!(err.digest, jobs[1].digest());
+        assert_eq!(err.attempts, 1);
     }
 
     #[test]
@@ -256,5 +366,31 @@ mod tests {
     #[test]
     fn configured_threads_is_positive() {
         assert!(configured_threads() >= 1);
+    }
+
+    #[test]
+    fn failure_kinds_round_trip_and_display_names_the_point() {
+        for kind in [
+            FailureKind::Panic,
+            FailureKind::Crash,
+            FailureKind::Timeout,
+            FailureKind::MalformedOutput,
+        ] {
+            assert_eq!(FailureKind::parse(kind.name()), Ok(kind));
+        }
+        assert!(FailureKind::parse("oom").is_err());
+        let job = SimJob::new(
+            CoreModel::Interval,
+            SystemConfig::hpca2010_baseline(1),
+            WorkloadSpec::single("gcc", 1_000),
+            9,
+        );
+        let failure = JobFailure::panicked(4, &job, "boom".to_string());
+        let text = failure.to_string();
+        assert!(text.contains("job 4"), "got: {text}");
+        assert!(text.contains("gcc"), "got: {text}");
+        assert!(text.contains("seed 9"), "got: {text}");
+        assert!(text.contains("panic: boom"), "got: {text}");
+        assert!(text.contains(&job.digest()), "got: {text}");
     }
 }

@@ -36,12 +36,14 @@ pub mod experiments;
 pub mod hybrid;
 /// Re-export of the workspace's single wall-clock portal (see [`iss_trace::host_time`]).
 pub use iss_trace::host_time;
+pub mod jsonval;
 pub mod metrics;
 pub mod model;
 pub mod report;
 pub mod runner;
 pub mod sampling;
 pub mod scenario;
+pub mod shard;
 pub mod tomldoc;
 pub mod workload;
 
@@ -52,4 +54,8 @@ pub use model::{AnyMachine, CpuModel, ModelCheckpoint};
 pub use runner::{run, BaseModel, CoreModel, CoreSummary, SimSummary};
 pub use sampling::{run_sampled, SamplingEstimate, SamplingSpec};
 pub use scenario::{MachineSpec, Record, ScenarioSpec, SweepSpec};
+pub use shard::{
+    run_shard_jobs, run_sharded_sweep, shard_job_indices, sweep_digest, ShardOptions, ShardTask,
+    ShardedOutcome,
+};
 pub use workload::WorkloadSpec;

@@ -60,6 +60,17 @@ pub fn format_records_table(title: &str, records: &[Record]) -> String {
         "group", "variant", "cores", "insts", "cycles", "IPC", "CPI", "±95%", "swaps", "host s"
     ));
     for r in records {
+        if let Some(failure) = &r.failure {
+            out.push_str(&format!(
+                "{:<16} {:<30} QUARANTINED [{}] after {} attempt(s): {}\n",
+                r.group,
+                r.variant,
+                failure.kind.name(),
+                failure.attempts,
+                failure.message
+            ));
+            continue;
+        }
         let ci = r
             .ci95_half_width()
             .map_or_else(|| "-".to_string(), |w| format!("{w:.3}"));
@@ -77,6 +88,13 @@ pub fn format_records_table(title: &str, records: &[Record]) -> String {
             r.host_seconds
         ));
     }
+    let quarantined = records.iter().filter(|r| r.is_quarantined()).count();
+    if quarantined > 0 {
+        out.push_str(&format!(
+            "{quarantined} of {} row(s) quarantined\n",
+            records.len()
+        ));
+    }
     out
 }
 
@@ -89,8 +107,11 @@ pub fn error_summary(records: &[Record], reference: &str) -> (f64, f64) {
         let Some(reference) = group.variant(reference) else {
             continue;
         };
+        if reference.is_quarantined() {
+            continue;
+        }
         for r in &group.records {
-            if r.variant != reference.variant {
+            if r.variant != reference.variant && !r.is_quarantined() {
                 errors.push(r.cpi_error_vs(reference));
             }
         }
@@ -115,16 +136,30 @@ pub fn format_comparison_table(title: &str, records: &[Record], reference: &str)
     let mut speedups = Vec::new();
     let mut sampled = 0usize;
     let mut bracketing = 0usize;
+    let mut quarantined = 0usize;
     for group in groups(records) {
-        let Some(reference_record) = group.variant(reference) else {
+        let reference_ok = group.variant(reference).filter(|r| !r.is_quarantined());
+        let Some(reference_record) = reference_ok else {
             out.push_str(&format!(
-                "{:<16} (no `{reference}` record in this group)\n",
+                "{:<16} (no usable `{reference}` record in this group)\n",
                 group.key
             ));
+            quarantined += group.records.iter().filter(|r| r.is_quarantined()).count();
             continue;
         };
         for r in &group.records {
             if r.variant == reference_record.variant {
+                continue;
+            }
+            if let Some(failure) = &r.failure {
+                quarantined += 1;
+                out.push_str(&format!(
+                    "{:<16} {:<30} QUARANTINED [{}]: {}\n",
+                    group.key,
+                    r.variant,
+                    failure.kind.name(),
+                    failure.message
+                ));
                 continue;
             }
             let error = r.cpi_error_vs(reference_record);
@@ -164,6 +199,11 @@ pub fn format_comparison_table(title: &str, records: &[Record], reference: &str)
             "95% CI brackets the reference CPI in {bracketing}/{sampled} sampled rows\n"
         ));
     }
+    if quarantined > 0 {
+        out.push_str(&format!(
+            "{quarantined} quarantined row(s) excluded from the summary statistics\n"
+        ));
+    }
     out
 }
 
@@ -195,6 +235,9 @@ pub struct StpAnttRow {
 pub fn stp_antt_rows(records: &[Record]) -> Vec<StpAnttRow> {
     let mut rows = Vec::new();
     for r in records {
+        if r.is_quarantined() {
+            continue;
+        }
         let Some(benchmark) = &r.benchmark else {
             continue;
         };
@@ -202,6 +245,7 @@ pub fn stp_antt_rows(records: &[Record]) -> Vec<StpAnttRow> {
             s.benchmark.as_deref() == Some(benchmark.as_str())
                 && s.variant == r.variant
                 && s.cores == 1
+                && !s.is_quarantined()
         }) else {
             continue;
         };
@@ -274,11 +318,16 @@ pub fn format_normalized_table(title: &str, records: &[Record], reference: &str)
         "benchmark", "variant", "cores", "norm. time"
     ));
     for r in records {
+        if r.is_quarantined() {
+            continue;
+        }
         let Some(benchmark) = &r.benchmark else {
             continue;
         };
         let Some(reference_record) = records.iter().find(|s| {
-            s.benchmark.as_deref() == Some(benchmark.as_str()) && s.variant.ends_with(reference)
+            s.benchmark.as_deref() == Some(benchmark.as_str())
+                && s.variant.ends_with(reference)
+                && !s.is_quarantined()
         }) else {
             continue;
         };
@@ -323,6 +372,7 @@ mod tests {
             host_seconds: host,
             swaps: 0,
             sampling: None,
+            failure: None,
         }
     }
 
@@ -379,7 +429,7 @@ mod tests {
     fn missing_reference_is_reported_not_hidden() {
         let records = vec![record("gcc", "interval", 1, 2_000, 1.0)];
         let t = format_comparison_table("x", &records, "detailed");
-        assert!(t.contains("no `detailed` record"), "got: {t}");
+        assert!(t.contains("no usable `detailed` record"), "got: {t}");
     }
 
     #[test]
@@ -425,6 +475,38 @@ mod tests {
         let t = format_records_table("Figure 5", &records);
         assert!(t.contains("detailed") && t.contains("interval"));
         assert!(t.contains("2000"));
+    }
+
+    #[test]
+    fn quarantined_rows_render_and_stay_out_of_the_statistics() {
+        use crate::batch::{FailureKind, JobFailure};
+        let failure = JobFailure {
+            job: 3,
+            workload: "mcf".to_string(),
+            seed: 42,
+            model: "interval".to_string(),
+            digest: "beef".to_string(),
+            kind: FailureKind::Crash,
+            message: "process exited with code 17".to_string(),
+            attempts: 3,
+        };
+        let records = vec![
+            record("gcc", "detailed", 1, 1_000, 1.0),
+            record("gcc", "interval", 1, 1_100, 1.0),
+            record("mcf", "detailed", 1, 1_000, 1.0),
+            Record::from_failure("test", "mcf", "interval", Some("mcf"), failure),
+        ];
+        let t = format_records_table("t", &records);
+        assert!(t.contains("QUARANTINED [crash]"), "got: {t}");
+        assert!(t.contains("1 of 4 row(s) quarantined"), "got: {t}");
+        let c = format_comparison_table("t", &records, "detailed");
+        assert!(c.contains("QUARANTINED [crash]"), "got: {c}");
+        assert!(c.contains("1 quarantined row(s) excluded"), "got: {c}");
+        // Only the healthy gcc pair feeds the summary: 10% error.
+        assert!(c.contains("average CPI error 10.0%"), "got: {c}");
+        let (avg, max) = error_summary(&records, "detailed");
+        assert!((avg - 0.1).abs() < 1e-9, "avg {avg}");
+        assert!((max - 0.1).abs() < 1e-9, "max {max}");
     }
 
     #[test]

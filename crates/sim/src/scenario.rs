@@ -34,21 +34,27 @@
 //! # Ok::<(), String>(())
 //! ```
 
+pub mod jsonl;
 pub mod machine;
 pub mod modelspec;
 pub mod record;
 pub mod toml;
 
+pub use jsonl::{
+    parse_record_line, parse_records_json, parse_records_jsonl, render_record_line,
+    render_records_json, render_records_jsonl,
+};
 pub use machine::{MachineBaseline, MachineOverrides, MachineSpec};
 pub use modelspec::{parse_base_model, parse_model};
-pub use record::{fnv1a_hex, render_records_json, Record};
+pub use record::{fnv1a_hex, Record};
 
 use serde::{Deserialize, Serialize};
 
-use crate::batch::{run_batch_with_threads, SimJob};
+use crate::batch::{try_run_batch_with_threads, SimJob};
 use crate::config::SystemConfig;
 use crate::env::try_configured_threads;
 use crate::runner::CoreModel;
+use crate::runner::SimSummary;
 use crate::workload::WorkloadSpec;
 
 /// One fully specified simulation point: what the machine is, what runs on
@@ -150,12 +156,28 @@ impl ScenarioSpec {
     /// resolved.
     pub fn digest(&self) -> Result<String, String> {
         let config = self.resolved_config()?;
-        Ok(fnv1a_hex(&format!(
-            "{config:?}|{:?}|{}|{}",
-            self.workload,
-            self.model.name(),
-            self.seed
-        )))
+        Ok(SimJob::new(self.model, config, self.workload.clone(), self.seed).digest())
+    }
+
+    /// Wraps a run summary of this scenario into a [`Record`] carrying the
+    /// scenario's coordinates — the one lowering both the in-process sweep
+    /// runner and the sharded child runner go through, so their rows are
+    /// identical by construction.
+    ///
+    /// # Errors
+    ///
+    /// Returns the machine resolution error when the config digest cannot
+    /// be computed.
+    pub fn to_record(&self, sweep: &str, summary: SimSummary) -> Result<Record, String> {
+        Ok(Record::from_summary(
+            sweep,
+            &self.group,
+            &self.variant,
+            self.benchmark.as_deref(),
+            self.digest()?,
+            self.seed,
+            summary,
+        ))
     }
 
     /// Lowers the scenario into a batch job.
@@ -381,6 +403,11 @@ impl SweepSpec {
     /// use one worker so their wall-clock speedup columns are not
     /// contaminated by host contention between concurrent jobs.
     ///
+    /// A job that panics does **not** abort the sweep: it is reported as a
+    /// quarantined row ([`Record::from_failure`]) and every other job still
+    /// completes — the figure drivers print the quarantined row instead of
+    /// re-raising the first panic.
+    ///
     /// # Errors
     ///
     /// Propagates expansion/validation errors.
@@ -390,20 +417,19 @@ impl SweepSpec {
             .iter()
             .map(ScenarioSpec::to_job)
             .collect::<Result<Vec<_>, _>>()?;
-        let summaries = run_batch_with_threads(&jobs, threads);
+        let outcomes = try_run_batch_with_threads(&jobs, threads);
         points
             .iter()
-            .zip(summaries)
-            .map(|(point, summary)| {
-                Ok(Record::from_summary(
+            .zip(outcomes)
+            .map(|(point, outcome)| match outcome {
+                Ok(summary) => point.to_record(&self.name, summary),
+                Err(failure) => Ok(Record::from_failure(
                     &self.name,
                     &point.group,
                     &point.variant,
                     point.benchmark.as_deref(),
-                    point.digest()?,
-                    point.seed,
-                    summary,
-                ))
+                    failure,
+                )),
             })
             .collect()
     }

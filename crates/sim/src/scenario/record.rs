@@ -10,6 +10,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::batch::JobFailure;
 use crate::metrics;
 use crate::runner::{CoreSummary, SimSummary};
 use crate::sampling::SamplingEstimate;
@@ -51,6 +52,10 @@ pub struct Record {
     pub swaps: u64,
     /// The statistical estimate of a sampled run (`None` otherwise).
     pub sampling: Option<SamplingEstimate>,
+    /// The structured failure of a quarantined job (`None` for rows that
+    /// simulated successfully). Quarantined rows carry zeroed simulated
+    /// quantities and are skipped by the derived-metric views.
+    pub failure: Option<JobFailure>,
 }
 
 impl Record {
@@ -80,7 +85,45 @@ impl Record {
             host_seconds: summary.host_seconds,
             swaps: summary.swaps,
             sampling: summary.sampling,
+            failure: None,
         }
+    }
+
+    /// A quarantined row: the scenario coordinates of a job that could not
+    /// be simulated, with the structured [`JobFailure`] in place of
+    /// simulated quantities.
+    #[must_use]
+    pub fn from_failure(
+        sweep: &str,
+        group: &str,
+        variant: &str,
+        benchmark: Option<&str>,
+        failure: JobFailure,
+    ) -> Self {
+        Record {
+            sweep: sweep.to_string(),
+            group: group.to_string(),
+            variant: variant.to_string(),
+            benchmark: benchmark.map(str::to_string),
+            digest: failure.digest.clone(),
+            workload: failure.workload.clone(),
+            cores: 0,
+            seed: failure.seed,
+            per_core: Vec::new(),
+            cycles: 0,
+            instructions: 0,
+            host_seconds: 0.0,
+            swaps: 0,
+            sampling: None,
+            failure: Some(failure),
+        }
+    }
+
+    /// Whether this row is a quarantined failure rather than a simulated
+    /// result.
+    #[must_use]
+    pub fn is_quarantined(&self) -> bool {
+        self.failure.is_some()
     }
 
     /// Whole-chip cycles per instruction. Sampled runs report their
@@ -203,56 +246,14 @@ impl Record {
             )
             .expect("write to String cannot fail");
         }
+        if let Some(failure) = &self.failure {
+            // Attempt counts depend on the retry schedule, so they stay out
+            // of the canonical encoding: a quarantined row must encode
+            // identically whatever failure history produced it.
+            let _ = write!(s, ";failure={}:{}", failure.kind.name(), failure.message);
+        }
         s
     }
-}
-
-/// Renders records as a machine-readable JSON document (schema
-/// `iss-records/v1`; same hand-rolled line-oriented subset as the CI
-/// baselines, one record object per line).
-#[must_use]
-pub fn render_records_json(records: &[Record]) -> String {
-    use std::fmt::Write;
-    let mut j = String::new();
-    j.push_str("{\n  \"schema\": \"iss-records/v1\",\n  \"records\": [\n");
-    for (i, r) in records.iter().enumerate() {
-        let per_core: Vec<String> = r
-            .per_core
-            .iter()
-            .map(|c| format!("[{}, {}]", c.instructions, c.cycles))
-            .collect();
-        let _ = write!(
-            j,
-            "    {{\"sweep\": \"{}\", \"group\": \"{}\", \"variant\": \"{}\", \
-             \"digest\": \"{}\", \"workload\": \"{}\", \"cores\": {}, \"seed\": {}, \
-             \"cycles\": {}, \"instructions\": {}, \"cpi\": {:.6}, \"ipc\": {:.6}, \
-             \"host_seconds\": {:.6}, \"swaps\": {}, \"per_core\": [{}]",
-            r.sweep,
-            r.group,
-            r.variant,
-            r.digest,
-            r.workload,
-            r.cores,
-            r.seed,
-            r.cycles,
-            r.instructions,
-            r.cpi(),
-            r.ipc(),
-            r.host_seconds,
-            r.swaps,
-            per_core.join(", ")
-        );
-        if let Some(est) = &r.sampling {
-            let _ = write!(
-                j,
-                ", \"ci95_half_width\": {:.6}, \"units_measured\": {}",
-                est.ci95_half_width, est.units_measured
-            );
-        }
-        let _ = writeln!(j, "}}{}", if i + 1 < records.len() { "," } else { "" });
-    }
-    j.push_str("  ]\n}\n");
-    j
 }
 
 /// FNV-1a 64-bit digest of a string, rendered as 16 hex digits. Used for
@@ -292,6 +293,7 @@ mod tests {
             host_seconds: host,
             swaps: 0,
             sampling: None,
+            failure: None,
         }
     }
 
@@ -335,19 +337,6 @@ mod tests {
         let mut c = a.clone();
         c.cycles += 1;
         assert_ne!(a.canonical(), c.canonical());
-    }
-
-    #[test]
-    fn json_rendering_contains_every_record() {
-        let records = vec![
-            record("detailed", 2_000, 1_000, 4.0),
-            record("interval", 2_100, 1_000, 1.0),
-        ];
-        let j = render_records_json(&records);
-        assert!(j.contains("iss-records/v1"));
-        assert!(j.contains("\"variant\": \"detailed\""));
-        assert!(j.contains("\"variant\": \"interval\""));
-        assert!(j.contains("\"per_core\": [[1000, 2000]]"));
     }
 
     #[test]

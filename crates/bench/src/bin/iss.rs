@@ -6,6 +6,8 @@
 //!                                    [--shard K/N | --jobs I,J,...]
 //! iss sweep <spec.toml | builtin-name> [--shards N] [--checkpoint PATH]
 //!                                      [--resume] [--json PATH] [--jsonl PATH]
+//! iss serve [--addr HOST:PORT] [--workers N] [--cache-dir DIR]
+//!           [--cache-max-mb N] [--evict]
 //! iss validate <spec.toml | directory>...
 //! iss lint <spec.toml | directory>...
 //! iss list [directory]
@@ -34,6 +36,14 @@
 //! duplicate design points by canonical digest, dead sweep axes, machine
 //! sanity, and a cost estimate against `ci/BENCH_baseline.json` (see the
 //! `iss-lint` crate).
+//! `serve` turns the engine into a long-running service: a TCP listener
+//! speaking line-delimited JSON, a bounded simulation worker pool
+//! (`--workers` / `ISS_SERVE_WORKERS`), and a persistent digest-keyed
+//! result cache (`--cache-dir` / `ISS_CACHE_DIR`, bounded by
+//! `--cache-max-mb` / `ISS_CACHE_MAX_MB`, cleared by `--evict`) so a
+//! repeated design point answers from disk instead of simulating. It
+//! prints the bound address (`--addr 127.0.0.1:0` picks a free port) and
+//! runs until a client sends `{"cmd": "shutdown"}`.
 //! `list` names the built-in sweeps and any `.toml` files in a directory
 //! (default `examples/scenarios`).
 //! `export` writes a built-in sweep as a scenario file — the quickest way
@@ -63,6 +73,8 @@ fn usage() -> ExitCode {
         "usage:\n  iss run <spec.toml | builtin> [--threads N] [--reference VARIANT] \
          [--json PATH] [--shard K/N | --jobs I,J,...]\n  iss sweep <spec.toml | builtin> \
          [--shards N] [--checkpoint PATH] [--resume] [--json PATH] [--jsonl PATH]\n  \
+         iss serve [--addr HOST:PORT] [--workers N] [--cache-dir DIR] \
+         [--cache-max-mb N] [--evict]\n  \
          iss validate <spec.toml | directory>...\n  iss lint <spec.toml | \
          directory>...\n  iss list [directory]\n  iss export <builtin> [path]\n  \
          iss export <spec.toml | builtin> --jsonl [path]"
@@ -75,6 +87,7 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("run") => run(&args[1..]),
         Some("sweep") => sweep(&args[1..]),
+        Some("serve") => serve(&args[1..]),
         Some("validate") => validate(&args[1..]),
         Some("lint") => lint(&args[1..]),
         Some("list") => list(&args[1..]),
@@ -355,6 +368,113 @@ fn run(args: &[String]) -> ExitCode {
         println!("\nwrote {}", path.display());
     }
     ExitCode::SUCCESS
+}
+
+/// `iss serve`: simulation as a service. Binds the listener, prints the
+/// bound address (the line harnesses parse to find the port), and serves
+/// until a client sends `{"cmd": "shutdown"}` — then exits 0. Flags beat
+/// the `ISS_SERVE_WORKERS` / `ISS_CACHE_DIR` / `ISS_CACHE_MAX_MB`
+/// environment knobs, which beat the defaults.
+fn serve(args: &[String]) -> ExitCode {
+    let mut addr = "127.0.0.1:0".to_string();
+    let mut workers: Option<usize> = None;
+    let mut cache_dir: Option<PathBuf> = None;
+    let mut cache_max_mb: Option<u64> = None;
+    let mut evict = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--addr" => match it.next() {
+                Some(v) => addr = v.clone(),
+                None => {
+                    eprintln!("iss serve: --addr needs a HOST:PORT operand");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--workers" => match it.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) if n > 0 => workers = Some(n),
+                _ => {
+                    eprintln!("iss serve: --workers needs a positive integer");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--cache-dir" => match it.next() {
+                Some(v) => cache_dir = Some(PathBuf::from(v)),
+                None => {
+                    eprintln!("iss serve: --cache-dir needs a directory path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--cache-max-mb" => match it.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(n) if n > 0 && n.checked_mul(1024 * 1024).is_some() => {
+                    cache_max_mb = Some(n);
+                }
+                _ => {
+                    eprintln!("iss serve: --cache-max-mb needs a positive integer of MiB");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--evict" => evict = true,
+            other => {
+                eprintln!("iss serve: unexpected argument `{other}`");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let options = match iss_sim::ServeOptions::from_env() {
+        Ok(mut options) => {
+            if let Some(n) = workers {
+                options.workers = n;
+            }
+            if let Some(dir) = cache_dir {
+                options.cache_dir = dir;
+            }
+            if let Some(mb) = cache_max_mb {
+                options.cache_max_bytes = Some(mb * 1024 * 1024);
+            }
+            options.evict_on_start = evict;
+            options
+        }
+        Err(e) => {
+            eprintln!("iss serve: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let server = match iss_sim::Server::bind(&addr, &options) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("iss serve: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let bound = match server.local_addr() {
+        Ok(bound) => bound,
+        Err(e) => {
+            eprintln!("iss serve: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let bound_mb = options
+        .cache_max_bytes
+        .map_or("unbounded".to_string(), |b| {
+            format!("{} MiB", b / (1024 * 1024))
+        });
+    println!("iss serve: listening on {bound}");
+    println!(
+        "iss serve: {} worker(s), cache at {} ({bound_mb})",
+        options.workers,
+        options.cache_dir.display()
+    );
+    match server.serve() {
+        Ok(()) => {
+            println!("iss serve: shut down cleanly");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("iss serve: {e}");
+            ExitCode::FAILURE
+        }
+    }
 }
 
 /// The fault-tolerant sharded supervisor: partitions the sweep's job list

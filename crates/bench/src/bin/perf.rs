@@ -44,6 +44,12 @@ impl ModelThroughput {
     }
 }
 
+/// Timing repetitions per model; the fastest run is kept. Shared CI
+/// runners have noisy neighbours, so a single sample can absorb a
+/// scheduler stall and masquerade as a real regression — the minimum
+/// over a few runs is a much more stable estimate of hot-loop speed.
+const MEASUREMENT_RUNS: usize = 3;
+
 fn measure_model(model: CoreModel, scale: ExperimentScale) -> ModelThroughput {
     let mut base = ScenarioSpec::new(
         WorkloadSpec::single(SPEC_QUICK[0], scale.spec_length),
@@ -54,14 +60,24 @@ fn measure_model(model: CoreModel, scale: ExperimentScale) -> ModelThroughput {
     sweep.benchmarks = SPEC_QUICK.iter().map(|b| (*b).to_string()).collect();
     // One worker: this is the hot-loop MIPS figure, not batch scaling, and a
     // single worker keeps the per-run wall clocks free of host contention.
-    let records = sweep
-        .run_with_threads(1)
-        .unwrap_or_else(|e| panic!("perf sweep failed: {e}"));
-    ModelThroughput {
-        model,
-        instructions: records.iter().map(|r| r.instructions).sum(),
-        host_seconds: records.iter().map(|r| r.host_seconds).sum(),
+    let mut best: Option<ModelThroughput> = None;
+    for _ in 0..MEASUREMENT_RUNS {
+        let records = sweep
+            .run_with_threads(1)
+            .unwrap_or_else(|e| panic!("perf sweep failed: {e}"));
+        let run = ModelThroughput {
+            model,
+            instructions: records.iter().map(|r| r.instructions).sum(),
+            host_seconds: records.iter().map(|r| r.host_seconds).sum(),
+        };
+        if best
+            .as_ref()
+            .is_none_or(|b| run.host_seconds < b.host_seconds)
+        {
+            best = Some(run);
+        }
     }
+    best.unwrap_or_else(|| panic!("perf measured no runs for {}", model.name()))
 }
 
 /// Wall-clock of one figure driver (runs through `run_batch`, so this is the

@@ -1,0 +1,167 @@
+//! End-to-end tests of simulation as a service at the process level: a
+//! real `iss serve` child, real `serve_load` replays against it — the
+//! same choreography as the CI serve-smoke step, so a CI failure
+//! reproduces locally as a plain `cargo test`.
+
+use std::io::{BufRead, BufReader};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Output, Stdio};
+
+/// The same tiny request set CI replays (4 points: 2 benchmarks × 2
+/// cheap models).
+const SMOKE_SPEC: &str = "\
+schema = \"iss-scenario/v1\"
+name = \"serve-cli\"
+seed = 7
+model = \"interval\"
+
+[machine]
+baseline = \"hpca2010\"
+
+[workload]
+kind = \"single\"
+benchmark = \"gcc\"
+length = 2500
+
+[sweep]
+models = [\"interval\", \"one-ipc\"]
+benchmarks = [\"gcc\", \"mcf\"]
+";
+
+/// A fresh scratch directory per test; the pid keeps concurrent
+/// `cargo test` invocations apart.
+fn workdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("iss-serve-cli-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    std::fs::write(dir.join("smoke.toml"), SMOKE_SPEC).expect("write spec");
+    dir
+}
+
+/// Spawns `iss serve` on a free port and parses the bound address off
+/// its stdout (the same line the CI step greps for).
+fn spawn_server(dir: &Path, extra: &[&str]) -> (Child, String) {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_iss"));
+    cmd.current_dir(dir)
+        .args(["serve", "--addr", "127.0.0.1:0", "--cache-dir", "cache"])
+        .args(extra)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null());
+    let mut child = cmd.spawn().expect("spawn iss serve");
+    let stdout = child.stdout.take().expect("server stdout");
+    let mut lines = BufReader::new(stdout).lines();
+    let addr = loop {
+        let line = lines
+            .next()
+            .expect("server exited before announcing its address")
+            .expect("read server stdout");
+        if let Some(addr) = line.strip_prefix("iss serve: listening on ") {
+            break addr.trim().to_string();
+        }
+    };
+    // Keep draining stdout so the server never blocks on a full pipe.
+    std::thread::spawn(move || for _ in lines {});
+    (child, addr)
+}
+
+fn serve_load(dir: &Path, addr: &str, extra: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_serve_load"))
+        .current_dir(dir)
+        .args(["--addr", addr, "--spec", "smoke.toml"])
+        .args(extra)
+        .output()
+        .expect("spawn serve_load")
+}
+
+fn stdout_of(output: &Output) -> String {
+    String::from_utf8_lossy(&output.stdout).into_owned()
+}
+
+fn stderr_of(output: &Output) -> String {
+    String::from_utf8_lossy(&output.stderr).into_owned()
+}
+
+#[test]
+fn a_replayed_request_set_is_all_hits_and_the_server_exits_cleanly() {
+    let dir = workdir("replay");
+    let (mut server, addr) = spawn_server(&dir, &[]);
+
+    let cold = serve_load(&dir, &addr, &["--requests", "2"]);
+    assert!(
+        cold.status.success(),
+        "cold pass failed: {}{}",
+        stdout_of(&cold),
+        stderr_of(&cold)
+    );
+    assert!(
+        stdout_of(&cold).contains("4 miss(es)"),
+        "the first pass must simulate every point once: {}",
+        stdout_of(&cold)
+    );
+
+    let warm = serve_load(
+        &dir,
+        &addr,
+        &["--requests", "2", "--expect-hit-rate", "100", "--shutdown"],
+    );
+    assert!(
+        warm.status.success(),
+        "warm pass failed: {}{}",
+        stdout_of(&warm),
+        stderr_of(&warm)
+    );
+    assert!(
+        stdout_of(&warm).contains("hit rate 100.0%"),
+        "the replay must be 100% cache hits: {}",
+        stdout_of(&warm)
+    );
+
+    let status = server.wait().expect("wait for server");
+    assert!(
+        status.success(),
+        "the server must shut down cleanly: {status:?}"
+    );
+}
+
+#[test]
+fn an_unmet_hit_rate_expectation_fails_the_harness() {
+    let dir = workdir("unmet");
+    let (mut server, addr) = spawn_server(&dir, &[]);
+
+    // A cold store cannot be 100% hits: the harness must say so loudly.
+    let cold = serve_load(&dir, &addr, &["--expect-hit-rate", "100"]);
+    assert!(
+        !cold.status.success(),
+        "a cold pass must fail a 100% hit-rate expectation: {}",
+        stdout_of(&cold)
+    );
+    assert!(
+        stderr_of(&cold).contains("below the required"),
+        "the failure must name the threshold: {}",
+        stderr_of(&cold)
+    );
+
+    let bye = serve_load(&dir, &addr, &["--shutdown"]);
+    assert!(bye.status.success(), "{}", stderr_of(&bye));
+    assert!(server.wait().expect("wait for server").success());
+}
+
+#[test]
+fn evict_on_start_clears_a_previous_server_store() {
+    let dir = workdir("evict");
+    let (mut server, addr) = spawn_server(&dir, &[]);
+    let warmup = serve_load(&dir, &addr, &["--shutdown"]);
+    assert!(warmup.status.success(), "{}", stderr_of(&warmup));
+    assert!(server.wait().expect("wait").success());
+
+    // Same cache dir, `--evict`: the replay must be cold again.
+    let (mut server, addr) = spawn_server(&dir, &["--evict"]);
+    let cold = serve_load(&dir, &addr, &["--shutdown"]);
+    assert!(cold.status.success(), "{}", stderr_of(&cold));
+    assert!(
+        stdout_of(&cold).contains("4 miss(es)"),
+        "--evict must discard the previous store: {}",
+        stdout_of(&cold)
+    );
+    assert!(server.wait().expect("wait").success());
+}

@@ -23,6 +23,12 @@
 //!   ([`parse_job_timeout_ms`], [`try_job_timeout_from_env`]).
 //! * `ISS_FAULT_INJECT` — deterministic fault injection for the
 //!   crash-recovery tests ([`parse_fault_spec`], [`try_fault_from_env`]).
+//! * `ISS_SERVE_WORKERS` — `iss serve` simulation worker pool size
+//!   ([`parse_serve_workers`], [`try_serve_workers_from_env`]).
+//! * `ISS_CACHE_DIR` — `iss serve` result-store directory
+//!   ([`cache_dir_from_env`]).
+//! * `ISS_CACHE_MAX_MB` — result-store size bound in MiB
+//!   ([`parse_cache_max_mb`], [`try_cache_max_mb_from_env`]).
 
 use crate::experiments::ExperimentScale;
 
@@ -385,6 +391,121 @@ pub fn try_fault_from_env() -> Result<Option<FaultSpec>, String> {
     parse_fault_spec(value.as_deref())
 }
 
+/// Parses an `ISS_SERVE_WORKERS` value into the `iss serve` simulation
+/// worker pool size.
+///
+/// `None` (variable unset) and the empty string select the default (the
+/// host's available parallelism). Anything else must be a positive
+/// integer: `0` workers would deadlock every request and is **rejected**,
+/// as is garbage — a typo must not silently change the server's
+/// concurrency.
+///
+/// # Errors
+///
+/// Returns a message naming the offending value when it is not a positive
+/// integer.
+pub fn parse_serve_workers(value: Option<&str>) -> Result<usize, String> {
+    let Some(raw) = value else {
+        return Ok(default_threads());
+    };
+    let trimmed = raw.trim();
+    if trimmed.is_empty() {
+        return Ok(default_threads());
+    }
+    let escape = "unset the variable to use the host's available parallelism";
+    match trimmed.parse::<usize>() {
+        Ok(0) => Err(reject(
+            "ISS_SERVE_WORKERS",
+            "a positive integer",
+            "0",
+            escape,
+        )),
+        Ok(n) => Ok(n),
+        Err(_) => Err(reject(
+            "ISS_SERVE_WORKERS",
+            "a positive integer",
+            trimmed,
+            escape,
+        )),
+    }
+}
+
+/// Reads the `iss serve` worker pool size from `ISS_SERVE_WORKERS` (see
+/// [`parse_serve_workers`]).
+///
+/// # Errors
+///
+/// Returns a message naming the offending value when the variable is set
+/// to `0` or to a non-numeric value.
+pub fn try_serve_workers_from_env() -> Result<usize, String> {
+    let value = std::env::var("ISS_SERVE_WORKERS").ok();
+    parse_serve_workers(value.as_deref())
+}
+
+/// Default result-store directory when `ISS_CACHE_DIR` is unset.
+pub const DEFAULT_CACHE_DIR: &str = ".iss-cache";
+
+/// Reads the result-store directory from `ISS_CACHE_DIR`.
+///
+/// Unlike the numeric knobs this one cannot fail: any non-empty string is
+/// a path, and an unset or empty variable selects
+/// [`DEFAULT_CACHE_DIR`] relative to the server's working directory.
+#[must_use]
+pub fn cache_dir_from_env() -> std::path::PathBuf {
+    match std::env::var("ISS_CACHE_DIR") {
+        Ok(dir) if !dir.trim().is_empty() => std::path::PathBuf::from(dir),
+        _ => std::path::PathBuf::from(DEFAULT_CACHE_DIR),
+    }
+}
+
+/// Default result-store size bound in MiB (see [`parse_cache_max_mb`]).
+pub const DEFAULT_CACHE_MAX_MB: u64 = 512;
+
+/// Parses an `ISS_CACHE_MAX_MB` value into the result-store size bound in
+/// MiB.
+///
+/// `None` (variable unset) and the empty string select
+/// [`DEFAULT_CACHE_MAX_MB`]. Anything else must be a positive integer
+/// whose byte count fits in `u64`: `0` would evict the store to nothing
+/// and is **rejected**, as are garbage and overflowing values — a typo
+/// must not silently change the store's retention.
+///
+/// # Errors
+///
+/// Returns a message naming the offending value when it is not a positive
+/// integer with an in-range byte count.
+pub fn parse_cache_max_mb(value: Option<&str>) -> Result<u64, String> {
+    let Some(raw) = value else {
+        return Ok(DEFAULT_CACHE_MAX_MB);
+    };
+    let trimmed = raw.trim();
+    if trimmed.is_empty() {
+        return Ok(DEFAULT_CACHE_MAX_MB);
+    }
+    let expected = "a positive integer of MiB";
+    let escape = "unset the variable to use the default of 512 MiB";
+    match trimmed.parse::<u64>() {
+        Ok(0) => Err(reject("ISS_CACHE_MAX_MB", expected, "0", escape)),
+        Ok(n) if n.checked_mul(1024 * 1024).is_none() => {
+            Err(reject("ISS_CACHE_MAX_MB", expected, trimmed, escape))
+        }
+        Ok(n) => Ok(n),
+        Err(_) => Err(reject("ISS_CACHE_MAX_MB", expected, trimmed, escape)),
+    }
+}
+
+/// Reads the result-store size bound from `ISS_CACHE_MAX_MB` (see
+/// [`parse_cache_max_mb`]).
+///
+/// # Errors
+///
+/// Returns a message naming the offending value when the variable is set
+/// to `0`, garbage, or a value whose byte count overflows `u64`.
+pub fn try_cache_max_mb_from_env() -> Result<u64, String> {
+    let value = std::env::var("ISS_CACHE_MAX_MB").ok();
+    parse_cache_max_mb(value.as_deref())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -564,6 +685,49 @@ mod tests {
     }
 
     #[test]
+    fn serve_worker_parsing_accepts_positive_integers_and_unset() {
+        assert_eq!(parse_serve_workers(Some("4")), Ok(4));
+        assert_eq!(parse_serve_workers(Some(" 2 ")), Ok(2));
+        assert!(parse_serve_workers(None).unwrap() >= 1);
+        assert!(parse_serve_workers(Some("")).unwrap() >= 1);
+    }
+
+    #[test]
+    fn serve_worker_parsing_rejects_zero_and_garbage_loudly() {
+        let zero = parse_serve_workers(Some("0")).unwrap_err();
+        assert!(
+            zero.contains("ISS_SERVE_WORKERS") && zero.contains("`0`"),
+            "got: {zero}"
+        );
+        let junk = parse_serve_workers(Some("many")).unwrap_err();
+        assert!(junk.contains("`many`"), "got: {junk}");
+    }
+
+    #[test]
+    fn cache_size_parsing_accepts_positive_mib_and_defaults_when_unset() {
+        assert_eq!(parse_cache_max_mb(None), Ok(DEFAULT_CACHE_MAX_MB));
+        assert_eq!(parse_cache_max_mb(Some("")), Ok(DEFAULT_CACHE_MAX_MB));
+        assert_eq!(parse_cache_max_mb(Some(" 64 ")), Ok(64));
+    }
+
+    #[test]
+    fn cache_size_parsing_rejects_zero_garbage_and_overflow_loudly() {
+        let zero = parse_cache_max_mb(Some("0")).unwrap_err();
+        assert!(
+            zero.contains("ISS_CACHE_MAX_MB") && zero.contains("`0`"),
+            "got: {zero}"
+        );
+        let junk = parse_cache_max_mb(Some("big")).unwrap_err();
+        assert!(junk.contains("`big`"), "got: {junk}");
+        // Parses as u64, but the byte count would overflow.
+        let overflow = parse_cache_max_mb(Some("18446744073709551615")).unwrap_err();
+        assert!(
+            overflow.contains("`18446744073709551615`"),
+            "got: {overflow}"
+        );
+    }
+
+    #[test]
     fn all_variables_share_the_error_shape() {
         let threads = parse_thread_count(Some("nope")).unwrap_err();
         let scale = parse_scale(Some("nope")).unwrap_err();
@@ -571,7 +735,11 @@ mod tests {
         let retries = parse_retry_limit(Some("nope")).unwrap_err();
         let timeout = parse_job_timeout_ms(Some("nope")).unwrap_err();
         let fault = parse_fault_spec(Some("nope")).unwrap_err();
-        for e in [&threads, &scale, &shards, &retries, &timeout, &fault] {
+        let workers = parse_serve_workers(Some("nope")).unwrap_err();
+        let cache = parse_cache_max_mb(Some("nope")).unwrap_err();
+        for e in [
+            &threads, &scale, &shards, &retries, &timeout, &fault, &workers, &cache,
+        ] {
             assert!(e.contains("must be"), "got: {e}");
             assert!(e.contains("`nope`"), "got: {e}");
             assert!(e.contains("unset the variable"), "got: {e}");

@@ -43,7 +43,9 @@ pub mod report;
 pub mod runner;
 pub mod sampling;
 pub mod scenario;
+pub mod serve;
 pub mod shard;
+pub mod store;
 pub mod tomldoc;
 pub mod workload;
 
@@ -54,8 +56,10 @@ pub use model::{AnyMachine, CpuModel, ModelCheckpoint};
 pub use runner::{run, BaseModel, CoreModel, CoreSummary, SimSummary};
 pub use sampling::{run_sampled, SamplingEstimate, SamplingSpec};
 pub use scenario::{MachineSpec, Record, ScenarioSpec, SweepSpec};
+pub use serve::{Client, RunOutcome, ServeOptions, ServeStats, Server};
 pub use shard::{
     run_shard_jobs, run_sharded_sweep, shard_job_indices, sweep_digest, ShardOptions, ShardTask,
     ShardedOutcome,
 };
+pub use store::{CacheKey, ResultStore, StoreStats};
 pub use workload::WorkloadSpec;

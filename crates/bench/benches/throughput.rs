@@ -4,10 +4,13 @@
 //! zero-allocation work on the per-instruction path moves.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use iss_branch::BranchUnit;
+use iss_mem::MemoryHierarchy;
 use iss_sim::batch::{run_batch_with_threads, SimJob};
 use iss_sim::config::SystemConfig;
 use iss_sim::runner::{run, CoreModel};
 use iss_sim::workload::WorkloadSpec;
+use iss_trace::{fast_forward_batched, BranchInfo, CheckpointStream, CoreResume, InstBatch};
 
 const BUDGET: u64 = 20_000;
 
@@ -55,5 +58,131 @@ fn batch_engine(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, model_throughput, batch_engine);
+/// One harvested warming batch: clones of the structure-of-arrays columns
+/// `fast_forward_batched` produced, replayable against fresh kernel state.
+struct Cols {
+    pc: Vec<u64>,
+    mem_pos: Vec<u32>,
+    mem_addr: Vec<u64>,
+    mem_store: Vec<bool>,
+    br_pc: Vec<u64>,
+    br_info: Vec<BranchInfo>,
+}
+
+/// Decodes one benchmark front to back at batch 64, keeping every batch's
+/// columns — realistic input for the cache-probe and branch-update kernels.
+fn harvest_columns(benchmark: &str) -> Vec<Cols> {
+    let workload = WorkloadSpec::single(benchmark, BUDGET)
+        .build(42)
+        .expect("catalog workload builds");
+    let (raw, mut sync) = workload.into_parts();
+    let mut streams: Vec<CheckpointStream> = raw.into_iter().map(CheckpointStream::fresh).collect();
+    let mut per_core = vec![
+        CoreResume {
+            time: 0,
+            instructions: 0,
+            done: false,
+        };
+        streams.len()
+    ];
+    let mut batch = InstBatch::with_capacity(64);
+    let mut cols = Vec::new();
+    fast_forward_batched(
+        &mut streams,
+        &mut sync,
+        &mut per_core,
+        u64::MAX,
+        &mut batch,
+        &mut |_, b| {
+            cols.push(Cols {
+                pc: b.pc.clone(),
+                mem_pos: b.mem_pos.clone(),
+                mem_addr: b.mem_addr.clone(),
+                mem_store: b.mem_store.clone(),
+                br_pc: b.br_pc.clone(),
+                br_info: b.br_info.clone(),
+            });
+        },
+    );
+    cols
+}
+
+/// The batched structure-of-arrays kernels behind functional warming,
+/// isolated so a kernel-level regression is visible separately from
+/// end-to-end MIPS: SoA decode (stream generation into `InstBatch`
+/// columns), the hierarchy's batched cache/TLB probe, and the branch unit's
+/// batched table update.
+fn batch_kernels(c: &mut Criterion) {
+    let config = SystemConfig::hpca2010_baseline(1);
+    let cols = harvest_columns("mcf");
+    let total: u64 = cols.iter().map(|col| col.pc.len() as u64).sum();
+
+    let mut group = c.benchmark_group("batch_kernels");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(total));
+
+    group.bench_function(BenchmarkId::new("soa_decode", "mcf"), |b| {
+        b.iter(|| {
+            let workload = WorkloadSpec::single("mcf", BUDGET)
+                .build(42)
+                .expect("catalog workload builds");
+            let (raw, mut sync) = workload.into_parts();
+            let mut streams: Vec<CheckpointStream> =
+                raw.into_iter().map(CheckpointStream::fresh).collect();
+            let mut per_core = vec![
+                CoreResume {
+                    time: 0,
+                    instructions: 0,
+                    done: false,
+                };
+                streams.len()
+            ];
+            let mut batch = InstBatch::with_capacity(64);
+            fast_forward_batched(
+                &mut streams,
+                &mut sync,
+                &mut per_core,
+                u64::MAX,
+                &mut batch,
+                &mut |_, b| {
+                    std::hint::black_box(b.len());
+                },
+            )
+        })
+    });
+
+    group.bench_function(BenchmarkId::new("cache_probe_batch", "mcf"), |b| {
+        let mut memory = MemoryHierarchy::new(&config.memory);
+        memory.set_warming(true);
+        b.iter(|| {
+            let mut last_iline = u64::MAX;
+            let mut now = 0u64;
+            for col in &cols {
+                memory.warm_access_batch(
+                    0,
+                    &col.pc,
+                    &col.mem_pos,
+                    &col.mem_addr,
+                    &col.mem_store,
+                    6,
+                    &mut last_iline,
+                    now,
+                );
+                now += col.pc.len() as u64;
+            }
+        })
+    });
+
+    group.bench_function(BenchmarkId::new("branch_update_batch", "mcf"), |b| {
+        let mut unit = BranchUnit::new(&config.branch);
+        b.iter(|| {
+            for col in &cols {
+                unit.update_batch(&col.br_pc, &col.br_info);
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, model_throughput, batch_engine, batch_kernels);
 criterion_main!(benches);

@@ -6,6 +6,13 @@
 //! `BENCH_interval.json` with:
 //!
 //! * simulated MIPS per core model (single-thread),
+//! * a `warming` row: functional-warming throughput of the batched
+//!   structure-of-arrays path (`fast_forward_batched` +
+//!   `warm_access_batch` + `update_batch`), the speed sampled simulation
+//!   is Amdahl-bound on,
+//! * the throughput of a tiny fixed reference kernel (pure integer work,
+//!   no simulator code) — the perf gate divides every MIPS number by it so
+//!   a slow or noisy host cancels out of the baseline comparison,
 //! * the interval-vs-detailed simulation speedup,
 //! * wall-clock seconds per figure driver (these scale with `ISS_THREADS`).
 //!
@@ -21,15 +28,19 @@ use iss_sim::host_time::HostTimer;
 use std::fmt::Write as _;
 
 use iss_bench::{PARSEC_QUICK, SPEC_QUICK};
+use iss_branch::BranchUnit;
+use iss_mem::MemoryHierarchy;
 use iss_sim::env::{configured_threads, scale_from_env};
 use iss_sim::experiments::{self, default_sampling_specs, ExperimentScale, Fig4Variant};
 use iss_sim::runner::CoreModel;
 use iss_sim::scenario::{ScenarioSpec, SweepSpec};
-use iss_sim::WorkloadSpec;
+use iss_sim::{SystemConfig, WorkloadSpec};
+use iss_trace::{fast_forward_batched, CheckpointStream, CoreResume, InstBatch};
 
-/// Single-thread throughput of one core model over the SPEC quick set.
+/// Single-thread throughput of one measured hot loop over the SPEC quick
+/// set (a core model, or the batched functional-warming path).
 struct ModelThroughput {
-    model: CoreModel,
+    name: String,
     instructions: u64,
     host_seconds: f64,
 }
@@ -66,7 +77,7 @@ fn measure_model(model: CoreModel, scale: ExperimentScale) -> ModelThroughput {
             .run_with_threads(1)
             .unwrap_or_else(|e| panic!("perf sweep failed: {e}"));
         let run = ModelThroughput {
-            model,
+            name: model.name(),
             instructions: records.iter().map(|r| r.instructions).sum(),
             host_seconds: records.iter().map(|r| r.host_seconds).sum(),
         };
@@ -78,6 +89,121 @@ fn measure_model(model: CoreModel, scale: ExperimentScale) -> ModelThroughput {
         }
     }
     best.unwrap_or_else(|| panic!("perf measured no runs for {}", model.name()))
+}
+
+/// Fetch-batching grain of the warming path (64-byte i-cache lines) and the
+/// default structure-of-arrays batch size — the same values the sampled
+/// runner uses.
+const IFETCH_LINE_SHIFT: u32 = 6;
+const WARM_BATCH: usize = 64;
+
+/// Throughput of the batched functional-warming path itself: every SPEC
+/// quick benchmark is fast-forwarded front to back through
+/// `fast_forward_batched`, warming the memory hierarchy and branch unit
+/// exactly as a sampled run's functional units do, with no timing model
+/// attached. This is the speed sampled simulation is Amdahl-bound on.
+fn measure_warming(scale: ExperimentScale) -> ModelThroughput {
+    let config = SystemConfig::hpca2010_baseline(1);
+    let mut best: Option<ModelThroughput> = None;
+    for _ in 0..MEASUREMENT_RUNS {
+        let start = HostTimer::start();
+        let mut instructions = 0u64;
+        for benchmark in SPEC_QUICK {
+            let workload = WorkloadSpec::single(benchmark, scale.spec_length)
+                .build(scale.seed)
+                .unwrap_or_else(|e| panic!("warming workload failed: {e}"));
+            let num_cores = workload.num_cores();
+            let (raw_streams, mut sync) = workload.into_parts();
+            let mut streams: Vec<CheckpointStream> = raw_streams
+                .into_iter()
+                .map(CheckpointStream::fresh)
+                .collect();
+            let mut per_core = vec![
+                CoreResume {
+                    time: 0,
+                    instructions: 0,
+                    done: false,
+                };
+                num_cores
+            ];
+            let mut memory = MemoryHierarchy::new(&config.memory);
+            memory.set_warming(true);
+            let mut branch: Vec<BranchUnit> = (0..num_cores)
+                .map(|_| BranchUnit::new(&config.branch))
+                .collect();
+            let mut batch = InstBatch::with_capacity(WARM_BATCH);
+            let mut last_iline = vec![u64::MAX; num_cores];
+            let mut now = 0u64;
+            loop {
+                let consumed = fast_forward_batched(
+                    &mut streams,
+                    &mut sync,
+                    &mut per_core,
+                    u64::MAX,
+                    &mut batch,
+                    &mut |core, b: &InstBatch| {
+                        memory.warm_access_batch(
+                            core,
+                            &b.pc,
+                            &b.mem_pos,
+                            &b.mem_addr,
+                            &b.mem_store,
+                            IFETCH_LINE_SHIFT,
+                            &mut last_iline[core],
+                            now,
+                        );
+                        branch[core].update_batch(&b.br_pc, &b.br_info);
+                        now += b.len() as u64;
+                    },
+                );
+                instructions += consumed;
+                if consumed == 0 {
+                    break;
+                }
+            }
+        }
+        let run = ModelThroughput {
+            name: "warming".to_string(),
+            instructions,
+            host_seconds: start.elapsed_seconds(),
+        };
+        if best
+            .as_ref()
+            .is_none_or(|b| run.host_seconds < b.host_seconds)
+        {
+            best = Some(run);
+        }
+    }
+    best.unwrap_or_else(|| panic!("perf measured no warming runs"))
+}
+
+/// Iterations of the fixed reference kernel — sized for tens of
+/// milliseconds per run, long enough to average over scheduler jitter.
+const REFERENCE_ITERS: u64 = 1 << 26;
+
+/// Throughput (million operations per second) of a tiny fixed integer
+/// kernel that exercises no simulator code: an xorshift64* chain whose
+/// result feeds `black_box` so it cannot be folded away. The kernel is
+/// pinned — the same operations forever — so its speed varies only with
+/// the host; the perf gate divides every simulated-MIPS number by it to
+/// cancel host speed and load out of the baseline comparison.
+fn measure_reference_kernel() -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..MEASUREMENT_RUNS {
+        let start = HostTimer::start();
+        let mut x = 0x9e37_79b9_7f4a_7c15u64;
+        for _ in 0..REFERENCE_ITERS {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+        }
+        std::hint::black_box(x);
+        best = best.min(start.elapsed_seconds());
+    }
+    if best <= 0.0 {
+        return 0.0;
+    }
+    REFERENCE_ITERS as f64 / best / 1e6
 }
 
 /// Wall-clock of one figure driver (runs through `run_batch`, so this is the
@@ -127,6 +253,7 @@ fn time_drivers(scale: ExperimentScale) -> Vec<DriverTiming> {
 fn render_json(
     scale: ExperimentScale,
     threads: usize,
+    reference_mops: f64,
     models: &[ModelThroughput],
     speedup: f64,
     drivers: &[DriverTiming],
@@ -140,12 +267,13 @@ fn render_json(
         scale.spec_length, scale.parsec_length, scale.seed
     );
     let _ = writeln!(j, "  \"threads\": {threads},");
+    let _ = writeln!(j, "  \"reference_kernel_mops\": {reference_mops:.3},");
     j.push_str("  \"models\": [\n");
     for (i, m) in models.iter().enumerate() {
         let _ = writeln!(
             j,
             "    {{\"model\": \"{}\", \"instructions\": {}, \"host_seconds\": {:.6}, \"simulated_mips\": {:.3}}}{}",
-            m.model.name(),
+            m.name,
             m.instructions,
             m.host_seconds,
             m.mips(),
@@ -191,7 +319,7 @@ fn main() {
     // default sweep, so the perf gate pins the configuration the sampling
     // figure headlines.
     let sampled = CoreModel::Sampled(default_sampling_specs(scale)[0]);
-    let models: Vec<ModelThroughput> = [
+    let mut models: Vec<ModelThroughput> = [
         CoreModel::Interval,
         CoreModel::Detailed,
         CoreModel::OneIpc,
@@ -200,22 +328,25 @@ fn main() {
     .into_iter()
     .map(|m| measure_model(m, scale))
     .collect();
+    models.push(measure_warming(scale));
+    let reference_mops = measure_reference_kernel();
     for m in &models {
         println!(
             "{:<10} {:>12} instructions {:>10.3}s {:>10.2} simulated MIPS",
-            m.model.name(),
+            m.name,
             m.instructions,
             m.host_seconds,
             m.mips()
         );
     }
+    println!("reference kernel: {reference_mops:.0} MOPS (host speed normalizer)");
     let interval = models
         .iter()
-        .find(|m| m.model == CoreModel::Interval)
+        .find(|m| m.name == "interval")
         .expect("interval model measured");
     let detailed = models
         .iter()
-        .find(|m| m.model == CoreModel::Detailed)
+        .find(|m| m.name == "detailed")
         .expect("detailed model measured");
     let speedup = if interval.host_seconds > 0.0 {
         detailed.host_seconds / interval.host_seconds
@@ -235,7 +366,7 @@ fn main() {
         drivers
     };
 
-    let json = render_json(scale, threads, &models, speedup, &drivers);
+    let json = render_json(scale, threads, reference_mops, &models, speedup, &drivers);
     std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
     println!("wrote {out_path}");
 }

@@ -5,6 +5,13 @@
 //! MIPS regresses by more than the allowed fraction (default 25% — host
 //! machines differ, real hot-loop regressions are bigger than that).
 //!
+//! When both files carry a `reference_kernel_mops` entry (the throughput of
+//! the same fixed integer kernel on each run's host), the comparison is
+//! *normalized*: each MIPS number is divided by its run's kernel speed, so
+//! a uniformly slow or loaded host cancels out and the margin gates
+//! simulator regressions rather than host noise. Baselines written before
+//! the kernel existed fall back to the raw comparison.
+//!
 //! Usage:
 //!   perf_gate \[baseline\] \[fresh\] \[--max-regression-pct N\]
 //!
@@ -12,14 +19,15 @@
 
 use std::process::ExitCode;
 
-use iss_bench::gates::{diff_perf, parse_perf_models};
+use iss_bench::gates::{diff_perf, parse_perf_models, parse_reference_kernel};
 
 const DEFAULT_BASELINE: &str = "ci/BENCH_baseline.json";
 const DEFAULT_FRESH: &str = "BENCH_interval.json";
 
-fn read_models(path: &str) -> Result<Vec<iss_bench::gates::ModelMips>, String> {
+fn read_models(path: &str) -> Result<(Vec<iss_bench::gates::ModelMips>, Option<f64>), String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    parse_perf_models(&text).map_err(|e| format!("cannot parse {path}: {e}"))
+    let models = parse_perf_models(&text).map_err(|e| format!("cannot parse {path}: {e}"))?;
+    Ok((models, parse_reference_kernel(&text)))
 }
 
 fn main() -> ExitCode {
@@ -43,21 +51,29 @@ fn main() -> ExitCode {
     let baseline_path = paths.first().map_or(DEFAULT_BASELINE, String::as_str);
     let fresh_path = paths.get(1).map_or(DEFAULT_FRESH, String::as_str);
 
-    let (baseline, fresh) = match (read_models(baseline_path), read_models(fresh_path)) {
-        (Ok(b), Ok(f)) => (b, f),
-        (b, f) => {
-            for r in [b.err(), f.err()].into_iter().flatten() {
-                eprintln!("perf gate: {r}");
+    let ((baseline, baseline_ref), (fresh, fresh_ref)) =
+        match (read_models(baseline_path), read_models(fresh_path)) {
+            (Ok(b), Ok(f)) => (b, f),
+            (b, f) => {
+                for r in [b.err(), f.err()].into_iter().flatten() {
+                    eprintln!("perf gate: {r}");
+                }
+                return ExitCode::FAILURE;
             }
-            return ExitCode::FAILURE;
-        }
-    };
+        };
     println!(
         "perf gate: {} baseline model(s) from {baseline_path}, fresh run {fresh_path}, \
          max regression {:.0}%",
         baseline.len(),
         max_regression * 100.0
     );
+    match (baseline_ref, fresh_ref) {
+        (Some(b), Some(f)) => println!(
+            "  reference kernel: baseline {b:.0} MOPS, fresh {f:.0} MOPS — comparing \
+             host-normalized MIPS"
+        ),
+        _ => println!("  no reference kernel in both files — comparing raw MIPS"),
+    }
     for f in &fresh {
         let base = baseline
             .iter()
@@ -68,7 +84,7 @@ fn main() -> ExitCode {
             f.model, f.simulated_mips, base
         );
     }
-    let violations = diff_perf(&baseline, &fresh, max_regression);
+    let violations = diff_perf(&baseline, &fresh, baseline_ref, fresh_ref, max_regression);
     if violations.is_empty() {
         println!("perf gate: PASS");
         ExitCode::SUCCESS

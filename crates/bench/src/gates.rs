@@ -297,6 +297,17 @@ pub struct ModelMips {
     pub simulated_mips: f64,
 }
 
+/// Parses the `reference_kernel_mops` entry of a perf file: the throughput
+/// of the fixed host-speed calibration kernel, or `None` for files written
+/// before the kernel existed.
+#[must_use]
+pub fn parse_reference_kernel(text: &str) -> Option<f64> {
+    text.lines()
+        .find(|l| l.contains("\"reference_kernel_mops\""))
+        .and_then(|l| field_num(l, "reference_kernel_mops"))
+        .filter(|&m| m > 0.0)
+}
+
 /// Parses the `models` entries of a `BENCH_interval.json` perf file.
 ///
 /// # Errors
@@ -327,8 +338,22 @@ pub fn parse_perf_models(text: &str) -> Result<Vec<ModelMips>, String> {
 /// when its simulated MIPS falls below `(1 - max_regression)` of the
 /// baseline; missing models are violations too. Speedups never fail the
 /// gate.
+///
+/// `baseline_ref` / `fresh_ref` are the two runs' reference-kernel
+/// throughputs (MOPS of the same fixed integer kernel on each host). When
+/// both are present, every MIPS number is divided by its run's kernel speed
+/// before comparison, so a host that is uniformly slower (or noisier) than
+/// the baseline machine cancels out and the margin gates *simulator*
+/// regressions only. When either is missing (a pre-calibration baseline
+/// file), the comparison falls back to raw MIPS.
 #[must_use]
-pub fn diff_perf(baseline: &[ModelMips], fresh: &[ModelMips], max_regression: f64) -> Vec<String> {
+pub fn diff_perf(
+    baseline: &[ModelMips],
+    fresh: &[ModelMips],
+    baseline_ref: Option<f64>,
+    fresh_ref: Option<f64>,
+    max_regression: f64,
+) -> Vec<String> {
     let mut violations = Vec::new();
     // Same vacuous-pass hardening as the accuracy gate: comparing against
     // (or with) nothing is a failure, not a pass.
@@ -343,6 +368,10 @@ pub fn diff_perf(baseline: &[ModelMips], fresh: &[ModelMips], max_regression: f6
             "fresh perf run has no model entries — the gate would pass vacuously".to_string(),
         );
     }
+    let (base_div, fresh_div, normalized) = match (baseline_ref, fresh_ref) {
+        (Some(b), Some(f)) if b > 0.0 && f > 0.0 => (b, f, true),
+        _ => (1.0, 1.0, false),
+    };
     for b in baseline {
         match fresh.iter().find(|f| f.model == b.model) {
             None => violations.push(format!(
@@ -350,15 +379,22 @@ pub fn diff_perf(baseline: &[ModelMips], fresh: &[ModelMips], max_regression: f6
                 b.model
             )),
             Some(f) => {
-                let floor = b.simulated_mips * (1.0 - max_regression);
-                if f.simulated_mips < floor {
+                let base_norm = b.simulated_mips / base_div;
+                let fresh_norm = f.simulated_mips / fresh_div;
+                let floor = base_norm * (1.0 - max_regression);
+                if fresh_norm < floor {
+                    let unit = if normalized {
+                        "normalized MIPS (MIPS per kernel MOPS)"
+                    } else {
+                        "simulated MIPS"
+                    };
                     violations.push(format!(
-                        "{}: {:.2} simulated MIPS is below the allowed floor {:.2} \
-                         (baseline {:.2}, max regression {:.0}%)",
+                        "{}: {:.4} {unit} is below the allowed floor {:.4} \
+                         (baseline {:.4}, max regression {:.0}%)",
                         b.model,
-                        f.simulated_mips,
+                        fresh_norm,
                         floor,
-                        b.simulated_mips,
+                        base_norm,
                         max_regression * 100.0
                     ));
                 }
@@ -518,7 +554,7 @@ mod tests {
                 simulated_mips: 1.2,
             },
         ];
-        let violations = diff_perf(&baseline, &fresh, 0.25);
+        let violations = diff_perf(&baseline, &fresh, None, None, 0.25);
         assert_eq!(violations.len(), 1);
         assert!(
             violations[0].starts_with("interval:"),
@@ -536,10 +572,10 @@ mod tests {
             model: "one-ipc".into(),
             simulated_mips: 6.5, // ~19% down, within the 25% margin
         }];
-        assert!(diff_perf(&baseline, &ok, 0.25).is_empty());
+        assert!(diff_perf(&baseline, &ok, None, None, 0.25).is_empty());
         // Empty fresh run: one vacuous-pass violation plus the missing
         // model.
-        let violations = diff_perf(&baseline, &[], 0.25);
+        let violations = diff_perf(&baseline, &[], None, None, 0.25);
         assert_eq!(violations.len(), 2);
         assert!(violations.iter().any(|v| v.contains("vacuously")));
         assert!(violations.iter().any(|v| v.contains("missing")));
@@ -551,8 +587,58 @@ mod tests {
             model: "interval".into(),
             simulated_mips: 5.0,
         }];
-        let violations = diff_perf(&[], &fresh, 0.25);
+        let violations = diff_perf(&[], &fresh, None, None, 0.25);
         assert_eq!(violations.len(), 1);
         assert!(violations[0].contains("vacuously"), "got: {violations:?}");
+    }
+
+    #[test]
+    fn reference_kernel_parses_and_rejects_degenerate_values() {
+        let text = "{\n  \"schema\": \"iss-bench-perf/v1\",\n  \
+                    \"reference_kernel_mops\": 812.503,\n}\n";
+        let mops = parse_reference_kernel(text).unwrap();
+        assert!((mops - 812.503).abs() < 1e-9);
+        assert_eq!(parse_reference_kernel("{\"schema\": \"x\"}"), None);
+        let zero = "{\n  \"reference_kernel_mops\": 0.000,\n}\n";
+        assert_eq!(parse_reference_kernel(zero), None);
+    }
+
+    #[test]
+    fn kernel_normalization_cancels_a_uniformly_slow_host() {
+        let baseline = vec![ModelMips {
+            model: "interval".into(),
+            simulated_mips: 10.0,
+        }];
+        // The fresh host runs everything at 40% speed — a raw comparison
+        // would flag a 60% "regression", but the reference kernel slowed
+        // down identically, so the normalized gate passes.
+        let fresh = vec![ModelMips {
+            model: "interval".into(),
+            simulated_mips: 4.0,
+        }];
+        assert!(!diff_perf(&baseline, &fresh, None, None, 0.25).is_empty());
+        assert!(diff_perf(&baseline, &fresh, Some(1000.0), Some(400.0), 0.25).is_empty());
+    }
+
+    #[test]
+    fn kernel_normalization_still_gates_real_regressions() {
+        let baseline = vec![ModelMips {
+            model: "interval".into(),
+            simulated_mips: 10.0,
+        }];
+        // Same host speed (equal kernel MOPS) but the simulator itself lost
+        // half its throughput: normalization must not absolve it.
+        let fresh = vec![ModelMips {
+            model: "interval".into(),
+            simulated_mips: 5.0,
+        }];
+        let violations = diff_perf(&baseline, &fresh, Some(800.0), Some(800.0), 0.25);
+        assert_eq!(violations.len(), 1);
+        assert!(violations[0].contains("normalized"), "got: {violations:?}");
+        // A pre-calibration baseline (no kernel entry) falls back to the
+        // raw comparison rather than passing vacuously.
+        let raw = diff_perf(&baseline, &fresh, None, Some(800.0), 0.25);
+        assert_eq!(raw.len(), 1);
+        assert!(raw[0].contains("simulated MIPS"), "got: {raw:?}");
     }
 }

@@ -247,6 +247,37 @@ impl BranchUnit {
             resolved_taken: info.taken,
         }
     }
+
+    /// Trains every structure over a whole branch column: the batch's branch
+    /// subset as parallel `pcs`/`infos` arrays, in program order.
+    ///
+    /// Table evolution (direction counters, BTB, RAS) and statistics are
+    /// exactly the scalar [`predict_and_update`](Self::predict_and_update)
+    /// loop over the same column — the predictions themselves are
+    /// discarded, which is all functional warming needs (warming trains the
+    /// front-end; only the timing models consume outcomes). One tight loop
+    /// over two contiguous columns replaces per-branch call overhead on the
+    /// warming hot path.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the columns disagree on length.
+    pub fn update_batch(&mut self, pcs: &[u64], infos: &[BranchInfo]) {
+        assert_eq!(
+            pcs.len(),
+            infos.len(),
+            "branch batch columns must have equal length"
+        );
+        if self.is_perfect() {
+            // The scalar path only counts the branch on the perfect
+            // short-circuit; match it without touching any table.
+            self.stats.branches += pcs.len() as u64;
+            return;
+        }
+        for (pc, info) in pcs.iter().zip(infos) {
+            let _ = self.predict_and_update(*pc, info);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -373,6 +404,50 @@ mod tests {
         let o = u.predict_and_update(0x5000, &cond(false, 0x9000, 0x5004));
         assert!(!o.mispredicted);
         assert_eq!(u.stats().mispredictions, before);
+    }
+
+    #[test]
+    fn batch_update_matches_scalar_loop() {
+        for config in [
+            BranchPredictorConfig::hpca2010_baseline(),
+            BranchPredictorConfig::perfect(),
+        ] {
+            let mut pcs = Vec::new();
+            let mut infos = Vec::new();
+            for i in 0..400u64 {
+                let class = match i % 5 {
+                    0 => BranchClass::Call,
+                    1 => BranchClass::Return,
+                    2 => BranchClass::UnconditionalDirect,
+                    3 => BranchClass::Indirect,
+                    _ => BranchClass::Conditional,
+                };
+                pcs.push(0x1000 + (i % 32) * 4);
+                infos.push(BranchInfo {
+                    class,
+                    taken: !matches!(class, BranchClass::Conditional) || i % 3 != 0,
+                    target: 0x9000 + (i % 7) * 0x40,
+                    fallthrough: 0x1000 + (i % 32) * 4 + 4,
+                });
+            }
+            let mut scalar = BranchUnit::new(&config);
+            for (pc, info) in pcs.iter().zip(&infos) {
+                let _ = scalar.predict_and_update(*pc, info);
+            }
+            let mut batched = BranchUnit::new(&config);
+            // Split across uneven batch boundaries to show the cut is free.
+            batched.update_batch(&pcs[..13], &infos[..13]);
+            batched.update_batch(&pcs[13..13], &infos[13..13]);
+            batched.update_batch(&pcs[13..], &infos[13..]);
+            assert_eq!(batched.stats(), scalar.stats());
+            // Tables trained identically: both make the same predictions.
+            for (pc, info) in pcs.iter().zip(&infos) {
+                assert_eq!(
+                    batched.would_mispredict(*pc, info),
+                    scalar.would_mispredict(*pc, info)
+                );
+            }
+        }
     }
 
     #[test]

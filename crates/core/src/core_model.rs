@@ -147,7 +147,7 @@ impl<S: InstructionStream> IntervalCore<S> {
     /// model, since they have already been consumed from the stream.
     #[must_use]
     pub fn pending_insts(&self) -> Vec<DynInst> {
-        self.window.iter().map(|e| e.inst).collect()
+        self.window.iter().copied().collect()
     }
 
     /// Consumes the core into its transferable warm state (see
@@ -166,7 +166,7 @@ impl<S: InstructionStream> IntervalCore<S> {
         };
         CoreWarmParts {
             resume,
-            pending: self.window.iter().map(|e| e.inst).collect(),
+            pending: self.window.iter().copied().collect(),
             stream: self.stream,
             branch: self.branch_unit,
         }
@@ -280,13 +280,12 @@ impl<S: InstructionStream> IntervalCore<S> {
     ) -> DispatchOutcome {
         // The window is already full here: `step_cycle` refills before the
         // dispatch loop and the dispatch path refills after every pop.
-        let Some(head) = self.window.head() else {
+        let Some((&inst, flags)) = self.window.head_entry() else {
             return DispatchOutcome::Empty;
         };
-        let entry_i_overlapped = head.i_overlapped;
-        let entry_br_overlapped = head.br_overlapped;
-        let entry_d_overlapped = head.d_overlapped;
-        let inst = head.inst;
+        let entry_i_overlapped = flags.i_overlapped;
+        let entry_br_overlapped = flags.br_overlapped;
+        let entry_d_overlapped = flags.d_overlapped;
         let core = self.core_id;
 
         // --- synchronization (functional-first: the timing model decides how
@@ -425,20 +424,24 @@ impl<S: InstructionStream> IntervalCore<S> {
         let branch_unit = &mut self.branch_unit;
         let tracker = &mut self.overlap_tracker;
         tracker.reset_rooted_at(blocking_load);
-        for entry in self.window.iter_behind_head_mut() {
+        // Walk the window columns structure-of-arrays: the cursor yields each
+        // instruction in place (no entry copies) and `slot` addresses the
+        // matching overlap flags.
+        let (cursor, flags) = self.window.behind_head_mut();
+        for (slot, inst) in cursor {
             // Synchronizing and serializing instructions drain the window and
             // terminate the overlap scan.
-            if entry.inst.is_serializing() || entry.inst.sync.is_some() {
+            if inst.is_serializing() || inst.sync.is_some() {
                 break;
             }
-            if !entry.i_overlapped {
-                entry.i_overlapped = true;
-                mem.access_instruction(core, entry.inst.pc, multi_time);
+            if !flags[slot].i_overlapped {
+                flags[slot].i_overlapped = true;
+                mem.access_instruction(core, inst.pc, multi_time);
                 stats.overlapped_instruction_accesses += 1;
             }
-            let dependent = tracker.depends_and_propagate(&entry.inst);
-            if entry.inst.is_branch() && !entry.br_overlapped {
-                if let Some(info) = entry.inst.branch {
+            let dependent = tracker.depends_and_propagate(inst);
+            if inst.is_branch() && !flags[slot].br_overlapped {
+                if let Some(info) = inst.branch {
                     if dependent {
                         // A branch that depends on the blocking load resolves
                         // only after the load returns, so its (potential)
@@ -448,13 +451,13 @@ impl<S: InstructionStream> IntervalCore<S> {
                         // they are wrong-path work. (Refinement over the
                         // paper's pseudocode, which keeps scanning; see
                         // DESIGN.md.)
-                        let will_mispredict = branch_unit.would_mispredict(entry.inst.pc, &info);
+                        let will_mispredict = branch_unit.would_mispredict(inst.pc, &info);
                         if will_mispredict {
                             break;
                         }
                     } else {
-                        entry.br_overlapped = true;
-                        let outcome = branch_unit.predict_and_update(entry.inst.pc, &info);
+                        flags[slot].br_overlapped = true;
+                        let outcome = branch_unit.predict_and_update(inst.pc, &info);
                         stats.overlapped_branches += 1;
                         if outcome.mispredicted {
                             break;
@@ -464,15 +467,14 @@ impl<S: InstructionStream> IntervalCore<S> {
             }
             // The earliest this instruction can issue, given the overlapped
             // loads feeding its source registers.
-            let ready_at = entry
-                .inst
+            let ready_at = inst
                 .src_regs()
                 .map(|r| chain.get(r as usize).copied().unwrap_or(0))
                 .max()
                 .unwrap_or(0);
-            if let Some(acc) = entry.inst.mem {
-                if !acc.is_store && !dependent && !entry.d_overlapped {
-                    entry.d_overlapped = true;
+            if let Some(acc) = inst.mem {
+                if !acc.is_store && !dependent && !flags[slot].d_overlapped {
+                    flags[slot].d_overlapped = true;
                     // The access is issued at its chain-ready time, not at
                     // the scan time: a load waiting on an earlier overlapped
                     // miss reaches the DRAM queue only after that miss
@@ -483,12 +485,12 @@ impl<S: InstructionStream> IntervalCore<S> {
                     if resp.is_long_latency() {
                         let completes_at = ready_at + resp.latency;
                         slowest_overlapped = slowest_overlapped.max(completes_at);
-                        if let Some(dst) = entry.inst.dst {
+                        if let Some(dst) = inst.dst {
                             // Out-of-range ids (hand-built test instructions
                             // only) are simply not chain-tracked, matching
                             // the `unwrap_or(0)` on the read side.
-                            if let Some(slot) = chain.get_mut(dst as usize) {
-                                *slot = completes_at;
+                            if let Some(reg) = chain.get_mut(dst as usize) {
+                                *reg = completes_at;
                             }
                             continue;
                         }
@@ -499,9 +501,9 @@ impl<S: InstructionStream> IntervalCore<S> {
                     // double-charge them.
                 }
             }
-            if let Some(dst) = entry.inst.dst {
-                if let Some(slot) = chain.get_mut(dst as usize) {
-                    *slot = if dependent {
+            if let Some(dst) = inst.dst {
+                if let Some(reg) = chain.get_mut(dst as usize) {
+                    *reg = if dependent {
                         // A root-dependent instruction executes only after
                         // the blocking load returns; it contributes no
                         // overlapped-chain latency, and its redefinition

@@ -55,4 +55,4 @@ pub use core_model::{CoreWarmParts, IntervalCore};
 pub use multicore::{IntervalSimResult, IntervalSimulator, IntervalWarmParts};
 pub use old_window::OldWindow;
 pub use stats::{CoreResult, IntervalCoreStats, MissEventKind};
-pub use window::{Window, WindowEntry};
+pub use window::{OverlapFlags, Window};

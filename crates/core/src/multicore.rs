@@ -234,10 +234,14 @@ impl<S: InstructionStream> IntervalSimulator<S> {
     }
 
     fn advance(&mut self, max_cycles: u64, inst_target: u64) {
-        while self.multi_core_time < max_cycles && !self.cores.iter().all(IntervalCore::is_done) {
-            if inst_target != u64::MAX && self.total_retired() >= inst_target {
-                break;
-            }
+        let track = inst_target != u64::MAX;
+        if self.multi_core_time >= max_cycles || self.cores.iter().all(IntervalCore::is_done) {
+            return;
+        }
+        if track && self.total_retired() >= inst_target {
+            return;
+        }
+        loop {
             for core in &mut self.cores {
                 core.step_cycle(self.multi_core_time, &mut self.mem, &mut self.sync);
             }
@@ -249,16 +253,33 @@ impl<S: InstructionStream> IntervalSimulator<S> {
             // — and it is what makes memory-bound interval runs fast. Blocked
             // cores trail at `multi_time + 1`, so synchronization stalls are
             // still stepped (and counted) cycle by cycle.
-            let next_event = self
-                .cores
-                .iter()
-                .filter(|c| !c.is_done())
-                .map(IntervalCore::core_sim_time)
-                .min();
-            self.multi_core_time = match next_event {
-                Some(t) if t > self.multi_core_time => t,
-                _ => self.multi_core_time + 1,
+            //
+            // One pass over the cores serves the skip, the all-done check and
+            // the retirement target — this loop header runs once per
+            // simulated event and was three separate core walks.
+            let mut next_event = u64::MAX;
+            let mut all_done = true;
+            let mut retired = 0u64;
+            for core in &self.cores {
+                if !core.is_done() {
+                    all_done = false;
+                    next_event = next_event.min(core.core_sim_time());
+                }
+                if track {
+                    retired += core.stats().instructions;
+                }
+            }
+            self.multi_core_time = if next_event != u64::MAX && next_event > self.multi_core_time {
+                next_event
+            } else {
+                self.multi_core_time + 1
             };
+            if self.multi_core_time >= max_cycles || all_done {
+                return;
+            }
+            if track && retired >= inst_target {
+                return;
+            }
         }
     }
 

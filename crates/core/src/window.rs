@@ -9,15 +9,15 @@
 //! again when they reach the head. The `*_overlapped` flags record exactly
 //! that.
 
-use std::collections::VecDeque;
-
 use iss_trace::{DynInst, RegId};
 
-/// One instruction in flight in the look-ahead window.
-#[derive(Debug, Clone)]
-pub struct WindowEntry {
-    /// The dynamic instruction.
-    pub inst: DynInst,
+/// The per-slot overlap flags of one in-flight instruction (see the module
+/// documentation). Stored as a column separate from the instruction payloads
+/// so the overlap scan — which re-reads and sets flags for up to a full
+/// window per long-latency miss — walks 3 bytes per slot, not the ~96-byte
+/// instruction stride.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OverlapFlags {
     /// The I-cache/I-TLB access for this instruction already happened under a
     /// long-latency load; do not charge it again at the head.
     pub i_overlapped: bool,
@@ -27,24 +27,19 @@ pub struct WindowEntry {
     pub d_overlapped: bool,
 }
 
-impl WindowEntry {
-    /// Wraps an instruction with cleared overlap flags.
-    #[must_use]
-    pub fn new(inst: DynInst) -> Self {
-        WindowEntry {
-            inst,
-            i_overlapped: false,
-            br_overlapped: false,
-            d_overlapped: false,
-        }
-    }
-}
-
-/// Fixed-capacity FIFO of in-flight instructions (the simulated ROB contents).
+/// Fixed-capacity FIFO of in-flight instructions (the simulated ROB
+/// contents), stored structure-of-arrays in a preallocated ring: one column
+/// of instruction payloads, one of [`OverlapFlags`]. Push writes one slot,
+/// pop is pure index arithmetic (no 90-byte entry moves on the dispatch hot
+/// path), and the columns never reallocate after construction.
 #[derive(Debug, Clone)]
 pub struct Window {
-    entries: VecDeque<WindowEntry>,
-    capacity: usize,
+    /// Ring storage, always `capacity` slots; `insts[slot(i)]` is live for
+    /// `i < len` and stale otherwise.
+    insts: Vec<DynInst>,
+    flags: Vec<OverlapFlags>,
+    head: usize,
+    len: usize,
 }
 
 impl Window {
@@ -57,65 +52,143 @@ impl Window {
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "window capacity must be non-zero");
         Window {
-            entries: VecDeque::with_capacity(capacity),
-            capacity,
+            insts: vec![DynInst::nop(0, 0); capacity],
+            flags: vec![OverlapFlags::default(); capacity],
+            head: 0,
+            len: 0,
         }
     }
 
     /// Maximum number of instructions the window can hold.
     #[must_use]
     pub fn capacity(&self) -> usize {
-        self.capacity
+        self.insts.len()
     }
 
     /// Current number of instructions in the window.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.len
     }
 
     /// Whether the window is empty.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.len == 0
     }
 
     /// Whether the window has room for another instruction.
     #[must_use]
     pub fn has_room(&self) -> bool {
-        self.entries.len() < self.capacity
+        self.len < self.insts.len()
     }
 
-    /// Inserts an instruction at the tail.
+    /// Physical slot of logical position `i` (0 = head).
+    #[inline]
+    fn slot(&self, i: usize) -> usize {
+        let s = self.head + i;
+        if s >= self.insts.len() {
+            s - self.insts.len()
+        } else {
+            s
+        }
+    }
+
+    /// Inserts an instruction at the tail with cleared overlap flags.
     ///
     /// # Panics
     ///
     /// Panics if the window is full.
     pub fn push_tail(&mut self, inst: DynInst) {
         assert!(self.has_room(), "window overflow");
-        self.entries.push_back(WindowEntry::new(inst));
+        let s = self.slot(self.len);
+        self.insts[s] = inst;
+        self.flags[s] = OverlapFlags::default();
+        self.len += 1;
     }
 
-    /// The entry at the head (the next instruction the core model considers).
+    /// The instruction at the head (the next one the core model considers).
     #[must_use]
-    pub fn head(&self) -> Option<&WindowEntry> {
-        self.entries.front()
+    pub fn head_inst(&self) -> Option<&DynInst> {
+        (self.len > 0).then(|| &self.insts[self.head])
     }
 
-    /// Removes and returns the head entry.
-    pub fn pop_head(&mut self) -> Option<WindowEntry> {
-        self.entries.pop_front()
+    /// The head instruction together with its overlap flags — one bounds
+    /// check on the dispatch hot path instead of two.
+    #[must_use]
+    pub fn head_entry(&self) -> Option<(&DynInst, OverlapFlags)> {
+        (self.len > 0).then(|| (&self.insts[self.head], self.flags[self.head]))
     }
 
-    /// Iterates over the entries behind the head (head excluded), mutably —
-    /// used by the overlap scan under a long-latency load.
-    pub fn iter_behind_head_mut(&mut self) -> impl Iterator<Item = &mut WindowEntry> {
-        self.entries.iter_mut().skip(1)
+    /// The overlap flags of the head instruction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window is empty.
+    #[must_use]
+    pub fn head_flags(&self) -> OverlapFlags {
+        assert!(self.len > 0, "empty window has no head");
+        self.flags[self.head]
     }
 
-    /// Iterates over all entries from head to tail.
-    pub fn iter(&self) -> impl Iterator<Item = &WindowEntry> {
-        self.entries.iter()
+    /// Discards the head entry; index arithmetic only. Does nothing on an
+    /// empty window.
+    pub fn pop_head(&mut self) {
+        if self.len > 0 {
+            self.head = self.slot(1);
+            self.len -= 1;
+        }
+    }
+
+    /// Structure-of-arrays view for the overlap scan: the physical slots of
+    /// the entries *behind* the head (head excluded, oldest first) plus the
+    /// full instruction and flag columns. The slot list indexes both columns;
+    /// splitting the borrow this way lets the scan read instructions while
+    /// setting flags without copying entries out of the ring.
+    pub fn behind_head_mut(&mut self) -> (BehindHead<'_>, &mut [OverlapFlags]) {
+        (
+            BehindHead {
+                insts: &self.insts,
+                head: self.head,
+                next: 1,
+                len: self.len,
+            },
+            &mut self.flags,
+        )
+    }
+
+    /// Iterates over all in-flight instructions from head to tail.
+    pub fn iter(&self) -> impl Iterator<Item = &DynInst> {
+        (0..self.len).map(|i| &self.insts[self.slot(i)])
+    }
+}
+
+/// Cursor over the window slots behind the head (see
+/// [`Window::behind_head_mut`]): yields `(slot, &inst)` pairs so the caller
+/// can address the matching flags column entry.
+#[derive(Debug)]
+pub struct BehindHead<'a> {
+    insts: &'a [DynInst],
+    head: usize,
+    next: usize,
+    len: usize,
+}
+
+impl<'a> Iterator for BehindHead<'a> {
+    type Item = (usize, &'a DynInst);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.next >= self.len {
+            return None;
+        }
+        let s = self.head + self.next;
+        let s = if s >= self.insts.len() {
+            s - self.insts.len()
+        } else {
+            s
+        };
+        self.next += 1;
+        Some((s, &self.insts[s]))
     }
 }
 
@@ -258,10 +331,29 @@ mod tests {
         w.push_tail(DynInst::nop(1, 4));
         assert!(!w.has_room());
         assert_eq!(w.len(), 2);
-        assert_eq!(w.head().unwrap().inst.seq, 0);
-        assert_eq!(w.pop_head().unwrap().inst.seq, 0);
-        assert_eq!(w.pop_head().unwrap().inst.seq, 1);
-        assert!(w.pop_head().is_none());
+        assert_eq!(w.head_inst().unwrap().seq, 0);
+        w.pop_head();
+        assert_eq!(w.head_inst().unwrap().seq, 1);
+        w.pop_head();
+        assert!(w.head_inst().is_none());
+        w.pop_head(); // popping an empty window is a no-op
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn ring_wraps_and_keeps_order() {
+        let mut w = Window::new(3);
+        for seq in 0..3 {
+            w.push_tail(DynInst::nop(seq, seq * 4));
+        }
+        // Drain two, refill two: the ring head has wrapped past the end.
+        w.pop_head();
+        w.pop_head();
+        w.push_tail(DynInst::nop(3, 12));
+        w.push_tail(DynInst::nop(4, 16));
+        let seqs: Vec<u64> = w.iter().map(|i| i.seq).collect();
+        assert_eq!(seqs, vec![2, 3, 4]);
+        assert_eq!(w.head_inst().unwrap().seq, 2);
     }
 
     #[test]
@@ -278,16 +370,36 @@ mod tests {
         for i in 0..3 {
             w.push_tail(DynInst::nop(i, i * 4));
         }
-        let seqs: Vec<u64> = w.iter_behind_head_mut().map(|e| e.inst.seq).collect();
+        let (cursor, flags) = w.behind_head_mut();
+        let mut seqs = Vec::new();
+        for (slot, inst) in cursor {
+            seqs.push(inst.seq);
+            flags[slot].d_overlapped = true;
+        }
         assert_eq!(seqs, vec![1, 2]);
+        // The head's flags were not touched by the scan.
+        assert!(!w.head_flags().d_overlapped);
     }
 
     #[test]
     fn new_entries_start_unoverlapped() {
         let mut w = Window::new(4);
         w.push_tail(DynInst::nop(0, 0));
-        let e = w.head().unwrap();
-        assert!(!e.i_overlapped && !e.br_overlapped && !e.d_overlapped);
+        let f = w.head_flags();
+        assert!(!f.i_overlapped && !f.br_overlapped && !f.d_overlapped);
+    }
+
+    #[test]
+    fn reused_slots_reset_their_flags() {
+        let mut w = Window::new(1);
+        w.push_tail(DynInst::nop(0, 0));
+        let (_, flags) = w.behind_head_mut();
+        for f in flags.iter_mut() {
+            f.i_overlapped = true;
+        }
+        w.pop_head();
+        w.push_tail(DynInst::nop(1, 4));
+        assert!(!w.head_flags().i_overlapped, "push must clear stale flags");
     }
 
     #[test]

@@ -70,8 +70,9 @@ proptest! {
                 w.push_tail(DynInst::nop(next_push, next_push * 4));
                 next_push += 1;
             } else if !push && !w.is_empty() {
-                let e = w.pop_head().unwrap();
-                prop_assert_eq!(e.inst.seq, next_pop);
+                let seq = w.head_inst().unwrap().seq;
+                w.pop_head();
+                prop_assert_eq!(seq, next_pop);
                 next_pop += 1;
             }
             prop_assert!(w.len() <= 16);

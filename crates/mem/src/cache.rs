@@ -137,11 +137,25 @@ struct Line {
     stamp: u64,
 }
 
+/// Tag stored in an empty way. Real tags are `addr >> line_shift`, so the
+/// all-ones pattern can never collide with one (it would require a line at
+/// the very top of the address space crossing the u64 boundary). Using a
+/// sentinel keeps the hit loop a single tag compare with no validity check.
+const INVALID_TAG: u64 = u64::MAX;
+
 /// Set-associative, LRU-replacement cache holding MOESI line states.
+///
+/// The tag store is one contiguous `num_sets * ways` array (set-major), not a
+/// vector of per-set vectors: a whole set's ways land in one or two host
+/// cache lines and batched lookups ([`Cache::access_batch`]) walk a flat
+/// allocation. Empty ways carry the private `INVALID_TAG` sentinel. Which way a line occupies is
+/// unobservable — hits match by tag, and the LRU victim is the unique
+/// minimum of strictly increasing stamps — so the layout change cannot
+/// affect simulation results.
 #[derive(Debug, Clone)]
 pub struct Cache {
     config: CacheConfig,
-    sets: Vec<Vec<Line>>,
+    lines: Vec<Line>,
     set_mask: u64,
     line_shift: u32,
     clock: u64,
@@ -161,9 +175,14 @@ impl Cache {
             .validate()
             .unwrap_or_else(|e| panic!("invalid cache configuration: {e}"));
         let num_sets = config.num_sets();
+        let empty = Line {
+            tag: INVALID_TAG,
+            state: LineState::Invalid,
+            stamp: 0,
+        };
         Cache {
             config: *config,
-            sets: vec![Vec::with_capacity(config.ways); num_sets],
+            lines: vec![empty; num_sets * config.ways],
             set_mask: num_sets as u64 - 1,
             line_shift: config.line_bytes.trailing_zeros(),
             clock: 0,
@@ -193,16 +212,22 @@ impl Cache {
     /// Fraction of the cache holding valid lines, in `0.0..=1.0`.
     #[must_use]
     pub fn warmth(&self) -> f64 {
-        let valid: usize = self
-            .sets
-            .iter()
-            .map(|set| set.iter().filter(|l| l.state.is_valid()).count())
-            .sum();
-        valid as f64 / self.capacity_lines().max(1) as f64
+        self.resident_lines() as f64 / self.capacity_lines().max(1) as f64
     }
 
     fn set_index(&self, addr: u64) -> usize {
         ((addr >> self.line_shift) & self.set_mask) as usize
+    }
+
+    /// The ways of the set `addr` maps to, as one contiguous slice.
+    fn set(&self, addr: u64) -> &[Line] {
+        let base = self.set_index(addr) * self.config.ways;
+        &self.lines[base..base + self.config.ways]
+    }
+
+    fn set_mut(&mut self, addr: u64) -> &mut [Line] {
+        let base = self.set_index(addr) * self.config.ways;
+        &mut self.lines[base..base + self.config.ways]
     }
 
     fn tag(&self, addr: u64) -> u64 {
@@ -213,17 +238,43 @@ impl Cache {
     /// state ([`LineState::Invalid`] on a miss).
     pub fn access(&mut self, addr: u64) -> LineState {
         let tag = self.tag(addr);
-        let set_idx = self.set_index(addr);
         self.clock += 1;
         let clock = self.clock;
-        let set = &mut self.sets[set_idx];
-        if let Some(line) = set.iter_mut().find(|l| l.tag == tag) {
-            self.hits += 1;
-            line.stamp = clock;
-            line.state
-        } else {
-            self.misses += 1;
-            LineState::Invalid
+        let hit = self
+            .set_mut(addr)
+            .iter_mut()
+            .find(|l| l.tag == tag)
+            .map(|line| {
+                line.stamp = clock;
+                line.state
+            });
+        match hit {
+            Some(state) => {
+                self.hits += 1;
+                state
+            }
+            None => {
+                self.misses += 1;
+                LineState::Invalid
+            }
+        }
+    }
+
+    /// Looks up a whole address column, appending each access's line state
+    /// to `states` (cleared first).
+    ///
+    /// Exactly equivalent to calling [`access`](Self::access) once per
+    /// address — same clock advance, LRU stamps and hit/miss counters.
+    /// Callers that interleave lookups with [`insert`](Self::insert) (the
+    /// hierarchy's miss handling) must cut the batch at the insert; inside
+    /// one batch the tag arrays are only read and re-stamped, which is what
+    /// lets this loop run contiguously.
+    pub fn access_batch(&mut self, addrs: &[u64], states: &mut Vec<LineState>) {
+        states.clear();
+        states.reserve(addrs.len());
+        for &addr in addrs {
+            let s = self.access(addr);
+            states.push(s);
         }
     }
 
@@ -231,8 +282,8 @@ impl Cache {
     #[must_use]
     pub fn probe(&self, addr: u64) -> LineState {
         let tag = self.tag(addr);
-        let set = &self.sets[self.set_index(addr)];
-        set.iter()
+        self.set(addr)
+            .iter()
             .find(|l| l.tag == tag)
             .map_or(LineState::Invalid, |l| l.state)
     }
@@ -241,13 +292,13 @@ impl Cache {
     /// not present. Setting [`LineState::Invalid`] removes the line.
     pub fn set_state(&mut self, addr: u64, state: LineState) {
         let tag = self.tag(addr);
-        let set_idx = self.set_index(addr);
-        let set = &mut self.sets[set_idx];
-        if let Some(pos) = set.iter().position(|l| l.tag == tag) {
+        let set = self.set_mut(addr);
+        if let Some(line) = set.iter_mut().find(|l| l.tag == tag) {
             if state == LineState::Invalid {
-                set.remove(pos);
+                line.tag = INVALID_TAG;
+                line.state = LineState::Invalid;
             } else {
-                set[pos].state = state;
+                line.state = state;
             }
         }
     }
@@ -257,23 +308,21 @@ impl Cache {
     /// updates its state.
     pub fn insert(&mut self, addr: u64, state: LineState) -> Option<Eviction> {
         debug_assert!(state.is_valid(), "cannot insert an invalid line");
-        let ways = self.config.ways;
         let tag = self.tag(addr);
         let line_shift = self.line_shift;
-        let set_idx = self.set_index(addr);
         self.clock += 1;
         let clock = self.clock;
-        let set = &mut self.sets[set_idx];
+        let set = self.set_mut(addr);
         if let Some(line) = set.iter_mut().find(|l| l.tag == tag) {
             line.state = state;
             return None;
         }
-        if set.len() < ways {
-            set.push(Line {
+        if let Some(slot) = set.iter_mut().find(|l| l.tag == INVALID_TAG) {
+            *slot = Line {
                 tag,
                 state,
                 stamp: clock,
-            });
+            };
             None
         } else {
             let victim_pos = set
@@ -304,15 +353,16 @@ impl Cache {
     /// Number of valid lines currently resident.
     #[must_use]
     pub fn resident_lines(&self) -> usize {
-        self.sets.iter().map(Vec::len).sum()
+        self.lines.iter().filter(|l| l.tag != INVALID_TAG).count()
     }
 
     /// Iterates over all resident line addresses and their states.
     pub fn resident(&self) -> impl Iterator<Item = (u64, LineState)> + '_ {
         let shift = self.line_shift;
-        self.sets
+        self.lines
             .iter()
-            .flat_map(move |set| set.iter().map(move |l| (l.tag << shift, l.state)))
+            .filter(|l| l.tag != INVALID_TAG)
+            .map(move |l| (l.tag << shift, l.state))
     }
 }
 
@@ -438,6 +488,29 @@ mod tests {
             misses >= 1024,
             "second pass over a 2x working set must still miss, got {misses}"
         );
+    }
+
+    #[test]
+    fn batch_access_matches_scalar_loop() {
+        let addrs: Vec<u64> = (0..96u64)
+            .map(|i| (i % 11) * 64 + (i % 3) * 0x100)
+            .collect();
+        let mut scalar = tiny();
+        let mut batched = tiny();
+        for &a in &addrs[..8] {
+            scalar.insert(a, LineState::Exclusive);
+            batched.insert(a, LineState::Exclusive);
+        }
+        let expected: Vec<LineState> = addrs.iter().map(|&a| scalar.access(a)).collect();
+        let mut got = Vec::new();
+        batched.access_batch(&addrs, &mut got);
+        assert_eq!(got, expected);
+        assert_eq!(batched.stats(), scalar.stats());
+        // LRU stamps evolved identically: the next insert picks the same
+        // victim in both.
+        let ev_s = scalar.insert(0x0300, LineState::Exclusive);
+        let ev_b = batched.insert(0x0300, LineState::Exclusive);
+        assert_eq!(ev_s, ev_b);
     }
 
     #[test]

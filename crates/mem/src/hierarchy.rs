@@ -91,6 +91,22 @@ pub struct WarmthSummary {
     pub dtlb: f64,
 }
 
+/// Reusable column buffers of the batched warming entry point
+/// ([`MemoryHierarchy::warm_access_batch`]), retained on the hierarchy so a
+/// steady stream of warm batches allocates nothing.
+#[derive(Debug, Clone, Default)]
+struct WarmScratch {
+    /// Line-deduplicated instruction-fetch PCs of the current batch.
+    fetch_pc: Vec<u64>,
+    /// Batch positions of the deduplicated fetches, ascending.
+    fetch_pos: Vec<u32>,
+    /// Per-fetch I-TLB walk latency (unused when the I-TLB is perfect).
+    itlb_lat: Vec<u64>,
+    /// Per-data-access D-TLB walk latency (unused when the D-TLB is
+    /// perfect).
+    dtlb_lat: Vec<u64>,
+}
+
 /// The complete memory hierarchy shared by the cores of one simulated chip.
 #[derive(Debug, Clone)]
 pub struct MemoryHierarchy {
@@ -106,6 +122,8 @@ pub struct MemoryHierarchy {
     /// usual, but DRAM accesses do not compete for the channel (see
     /// `DramModel::access_unqueued`). Off for every timing model.
     warming: bool,
+    /// Column buffers of the batched warming path (not simulated state).
+    warm_scratch: WarmScratch,
 }
 
 impl MemoryHierarchy {
@@ -130,6 +148,7 @@ impl MemoryHierarchy {
             dram: DramModel::new(&config.dram),
             stats: vec![CoreMemoryStats::default(); n],
             warming: false,
+            warm_scratch: WarmScratch::default(),
         }
     }
 
@@ -242,36 +261,34 @@ impl MemoryHierarchy {
             }
             latency += l;
         }
-        if cfg.perfect_l1i {
-            return AccessResponse {
-                latency,
-                level: AccessLevel::L1,
-                tlb_miss,
-            };
+        let (fill_latency, level) = self.fetch_fill(core, pc, now);
+        AccessResponse {
+            latency: latency + fill_latency,
+            level,
+            tlb_miss,
+        }
+    }
+
+    /// Cache portion of an instruction fetch (everything past the I-TLB):
+    /// L1i lookup and, on a miss, the fill from L2/DRAM.
+    fn fetch_fill(&mut self, core: usize, pc: u64, now: u64) -> (u64, AccessLevel) {
+        if self.config.perfect_l1i {
+            return (0, AccessLevel::L1);
         }
         let line = self.l1i[core].line_addr(pc);
         if self.l1i[core].access(line).is_valid() {
             self.stats[core].l1i_hits += 1;
-            return AccessResponse {
-                latency,
-                level: AccessLevel::L1,
-                tlb_miss,
-            };
+            return (0, AccessLevel::L1);
         }
         self.stats[core].l1i_misses += 1;
         // Instruction lines are read-only: fill from L2/DRAM in Shared state,
         // no coherence interaction with the data caches.
         let (fill_latency, level) = self.read_from_l2_or_memory(core, line, now);
-        latency += fill_latency;
         if let Some(ev) = self.l1i[core].insert(line, LineState::Shared) {
             // Instruction lines are never dirty; nothing to write back.
             debug_assert!(!ev.state.is_dirty());
         }
-        AccessResponse {
-            latency,
-            level,
-            tlb_miss,
-        }
+        (fill_latency, level)
     }
 
     // ----------------------------------------------------------------------
@@ -313,19 +330,33 @@ impl MemoryHierarchy {
             }
             latency += l;
         }
-        if cfg.perfect_l1d {
-            return AccessResponse {
-                latency,
-                level: AccessLevel::L1,
-                tlb_miss,
-            };
+        let (fill_latency, level) = self.data_fill(core, vaddr, is_store, now);
+        AccessResponse {
+            latency: latency + fill_latency,
+            level,
+            tlb_miss,
         }
+    }
 
+    /// Cache portion of a data access (everything past the D-TLB): L1d
+    /// lookup, store upgrades, and miss handling through coherence, L2 and
+    /// DRAM.
+    fn data_fill(
+        &mut self,
+        core: usize,
+        vaddr: u64,
+        is_store: bool,
+        now: u64,
+    ) -> (u64, AccessLevel) {
+        if self.config.perfect_l1d {
+            return (0, AccessLevel::L1);
+        }
         let line = self.l1d[core].line_addr(vaddr);
         let state = self.l1d[core].access(line);
 
         if state.is_valid() {
             self.stats[core].l1d_hits += 1;
+            let mut latency = 0;
             if is_store && !state.is_writable() {
                 // Upgrade: invalidate remote copies (S or O -> M).
                 latency += self.upgrade(core, line);
@@ -333,25 +364,144 @@ impl MemoryHierarchy {
             } else if is_store {
                 self.l1d[core].set_state(line, LineState::Modified);
             }
-            return AccessResponse {
-                latency,
-                level: AccessLevel::L1,
-                tlb_miss,
-            };
+            return (latency, AccessLevel::L1);
         }
 
         self.stats[core].l1d_misses += 1;
-        let (miss_latency, level) = if is_store {
+        if is_store {
             self.handle_store_miss(core, line, now)
         } else {
             self.handle_load_miss(core, line, now)
-        };
-        latency += miss_latency;
-        AccessResponse {
-            latency,
-            level,
-            tlb_miss,
         }
+    }
+
+    // ----------------------------------------------------------------------
+    // Batched functional warming
+    // ----------------------------------------------------------------------
+
+    /// Batched functional-warming entry point: performs, for one core, the
+    /// exact access sequence of the scalar warming loop — line-deduplicated
+    /// instruction fetch, then data access, per instruction in batch order —
+    /// over structure-of-arrays columns.
+    ///
+    /// `pc` holds every instruction's program counter; `mem_pos` /
+    /// `mem_addr` / `mem_store` describe the batch's memory subset
+    /// (ascending positions indexing into `pc`). Instruction `i` executes
+    /// at nominal cycle `now + i`. `last_iline` carries the per-core
+    /// last-fetched-line state across batches (`u64::MAX` = nothing fetched
+    /// yet); `ifetch_line_shift` is the fetch-batching grain.
+    ///
+    /// Equivalence contract, pinned by the differential suite in `iss-sim`:
+    /// cache/TLB state, every counter and the per-core `latency_cycles`
+    /// miss-pressure counter end up bit-identical to a scalar
+    /// [`access_instruction`](Self::access_instruction) /
+    /// [`access_data`](Self::access_data) loop. Two reorderings make the
+    /// batch fast and are invisible by construction:
+    ///
+    /// * TLB translations are hoisted into contiguous column passes
+    ///   ([`Tlb::access_batch`]): TLB state is disjoint from cache state and
+    ///   each TLB still sees its own accesses in the same order.
+    /// * `latency_cycles` accumulates once per batch: in warming mode DRAM
+    ///   never queues, so the scalar path's per-access contention-free
+    ///   correction (`latency - queued`) degenerates to the plain latency
+    ///   sum.
+    ///
+    /// The L1/L2/DRAM walk itself stays in per-instruction order: misses
+    /// insert lines, and a later batch position may hit a line an earlier
+    /// position filled.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the hierarchy is not in warming mode or the memory
+    /// columns disagree on length.
+    #[allow(clippy::too_many_arguments)]
+    pub fn warm_access_batch(
+        &mut self,
+        core: usize,
+        pc: &[u64],
+        mem_pos: &[u32],
+        mem_addr: &[u64],
+        mem_store: &[bool],
+        ifetch_line_shift: u32,
+        last_iline: &mut u64,
+        now: u64,
+    ) {
+        assert!(
+            self.warming,
+            "warm_access_batch requires functional-warming mode"
+        );
+        assert!(mem_pos.len() == mem_addr.len() && mem_pos.len() == mem_store.len());
+        let cfg = self.config;
+        let mut scratch = std::mem::take(&mut self.warm_scratch);
+
+        // Column pass 1: line-deduplicate the instruction side (one fetch
+        // per line transition, as the scalar loop's `last_iline` check).
+        scratch.fetch_pc.clear();
+        scratch.fetch_pos.clear();
+        let mut last = *last_iline;
+        for (i, &p) in pc.iter().enumerate() {
+            let line = p >> ifetch_line_shift;
+            if last != line {
+                last = line;
+                scratch.fetch_pc.push(p);
+                scratch.fetch_pos.push(i as u32);
+            }
+        }
+        *last_iline = last;
+
+        // Column pass 2: TLB translations over contiguous address columns.
+        if !cfg.perfect_itlb {
+            self.itlb[core].access_batch(&scratch.fetch_pc, &mut scratch.itlb_lat);
+            for &l in &scratch.itlb_lat {
+                if l > 0 {
+                    self.stats[core].itlb_misses += 1;
+                }
+            }
+        }
+        if !cfg.perfect_dtlb {
+            self.dtlb[core].access_batch(mem_addr, &mut scratch.dtlb_lat);
+            for &l in &scratch.dtlb_lat {
+                if l > 0 {
+                    self.stats[core].dtlb_misses += 1;
+                }
+            }
+        }
+
+        // In-order cache walk: merge the fetch and data subsets by batch
+        // position (the instruction side of one instruction precedes its
+        // data side, hence `<=`).
+        let num_fetch = scratch.fetch_pos.len();
+        let num_mem = mem_pos.len();
+        let mut latency_acc = 0u64;
+        let (mut fi, mut mi) = (0usize, 0usize);
+        while fi < num_fetch || mi < num_mem {
+            let fpos = if fi < num_fetch {
+                scratch.fetch_pos[fi]
+            } else {
+                u32::MAX
+            };
+            let mpos = if mi < num_mem { mem_pos[mi] } else { u32::MAX };
+            if fpos <= mpos {
+                if !cfg.perfect_itlb {
+                    latency_acc += scratch.itlb_lat[fi];
+                }
+                let (fill, _) = self.fetch_fill(core, scratch.fetch_pc[fi], now + u64::from(fpos));
+                latency_acc += fill;
+                fi += 1;
+            } else {
+                if !cfg.perfect_dtlb {
+                    latency_acc += scratch.dtlb_lat[mi];
+                }
+                let (fill, _) =
+                    self.data_fill(core, mem_addr[mi], mem_store[mi], now + u64::from(mpos));
+                latency_acc += fill;
+                mi += 1;
+            }
+        }
+        // One accumulation per batch; equal to the scalar per-access sum
+        // because warming never queues at DRAM (see the method docs).
+        self.stats[core].latency_cycles += latency_acc;
+        self.warm_scratch = scratch;
     }
 
     /// Snoops the remote L1Ds for `line` in one pass, moving every clean
@@ -779,6 +929,157 @@ mod tests {
         assert_eq!(s.per_core[0].l1d_hits, 1);
         assert_eq!(s.per_core[0].l1i_misses, 1);
         assert_eq!(s.totals().dram_reads, 2);
+    }
+
+    /// Deterministic pseudo-random warming workload: per-instruction PCs
+    /// plus a memory subset, shaped to produce TLB misses, L1/L2 misses and
+    /// capacity evictions.
+    fn warm_pattern(len: usize, salt: u64) -> (Vec<u64>, Vec<u32>, Vec<u64>, Vec<bool>) {
+        let mut pc = Vec::with_capacity(len);
+        let mut mem_pos = Vec::new();
+        let mut mem_addr = Vec::new();
+        let mut mem_store = Vec::new();
+        let mut x = salt.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1);
+        for i in 0..len {
+            x = x
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1_442_695_040_888_963_407);
+            // Mostly-sequential fetch with occasional far jumps.
+            let p = if x.is_multiple_of(13) {
+                0x40_0000 + (x >> 32) % 0x8_0000
+            } else {
+                0x40_0000 + (i as u64) * 4
+            };
+            pc.push(p);
+            if x.is_multiple_of(3) {
+                mem_pos.push(i as u32);
+                mem_addr
+                    .push(((x >> 16) % 0x20_000) * 8 + u64::from(x.is_multiple_of(5)) * 0x100_0000);
+                mem_store.push(x.is_multiple_of(4));
+            }
+        }
+        (pc, mem_pos, mem_addr, mem_store)
+    }
+
+    /// Scalar reference: the exact loop `FunctionalState::advance` ran
+    /// before batching (I-dedup, then data access, nominal clock per inst).
+    fn warm_scalar(
+        m: &mut MemoryHierarchy,
+        core: usize,
+        pattern: &(Vec<u64>, Vec<u32>, Vec<u64>, Vec<bool>),
+        last_iline: &mut u64,
+        now: u64,
+    ) {
+        let (pc, mem_pos, mem_addr, mem_store) = pattern;
+        let mut mi = 0usize;
+        for (i, &p) in pc.iter().enumerate() {
+            let t = now + i as u64;
+            let line = p >> 6;
+            if *last_iline != line {
+                *last_iline = line;
+                let _ = m.access_instruction(core, p, t);
+            }
+            if mi < mem_pos.len() && mem_pos[mi] as usize == i {
+                let _ = m.access_data(core, mem_addr[mi], mem_store[mi], t);
+                mi += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn warm_batch_matches_scalar_warming_exactly() {
+        for cores in [1usize, 2] {
+            let mut scalar = MemoryHierarchy::new(&small_config(cores));
+            let mut batched = MemoryHierarchy::new(&small_config(cores));
+            scalar.set_warming(true);
+            batched.set_warming(true);
+            let mut s_last = vec![u64::MAX; cores];
+            let mut b_last = vec![u64::MAX; cores];
+            let mut now = 0u64;
+            // Several rounds of interleaved per-core batches, exercising the
+            // shared L2 and DRAM counters from both cores.
+            for round in 0..6u64 {
+                for core in 0..cores {
+                    let pattern = warm_pattern(257, round * 31 + core as u64);
+                    warm_scalar(&mut scalar, core, &pattern, &mut s_last[core], now);
+                    batched.warm_access_batch(
+                        core,
+                        &pattern.0,
+                        &pattern.1,
+                        &pattern.2,
+                        &pattern.3,
+                        6,
+                        &mut b_last[core],
+                        now,
+                    );
+                    now += pattern.0.len() as u64;
+                }
+            }
+            assert_eq!(s_last, b_last);
+            assert_eq!(batched.stats(), scalar.stats(), "cores={cores}");
+            assert_eq!(
+                batched.warmth_summary(),
+                scalar.warmth_summary(),
+                "cores={cores}"
+            );
+            // Post-warming timed accesses observe identical cache state.
+            scalar.set_warming(false);
+            batched.set_warming(false);
+            for i in 0..64u64 {
+                let a = 0x100_0000 + i * 64 * 7;
+                assert_eq!(
+                    scalar.access_data(0, a, i % 2 == 0, now + i),
+                    batched.access_data(0, a, i % 2 == 0, now + i)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn warm_batch_in_tiny_pieces_equals_one_big_batch() {
+        // Batch size must not be observable: slicing the same instruction
+        // sequence into single-instruction batches gives the same state.
+        let pattern = warm_pattern(300, 99);
+        let mut whole = MemoryHierarchy::new(&small_config(1));
+        let mut pieces = MemoryHierarchy::new(&small_config(1));
+        whole.set_warming(true);
+        pieces.set_warming(true);
+        let (mut w_last, mut p_last) = (u64::MAX, u64::MAX);
+        whole.warm_access_batch(
+            0,
+            &pattern.0,
+            &pattern.1,
+            &pattern.2,
+            &pattern.3,
+            6,
+            &mut w_last,
+            0,
+        );
+        let (pc, mem_pos, mem_addr, mem_store) = &pattern;
+        let mut mi = 0usize;
+        for (i, &p) in pc.iter().enumerate() {
+            let has_mem = mi < mem_pos.len() && mem_pos[mi] as usize == i;
+            let (pos, addr, store): (&[u32], &[u64], &[bool]) = if has_mem {
+                (&[0u32], &mem_addr[mi..=mi], &mem_store[mi..=mi])
+            } else {
+                (&[], &[], &[])
+            };
+            pieces.warm_access_batch(0, &[p], pos, addr, store, 6, &mut p_last, i as u64);
+            if has_mem {
+                mi += 1;
+            }
+        }
+        assert_eq!(w_last, p_last);
+        assert_eq!(whole.stats(), pieces.stats());
+        assert_eq!(whole.warmth_summary(), pieces.warmth_summary());
+    }
+
+    #[test]
+    #[should_panic(expected = "functional-warming mode")]
+    fn warm_batch_outside_warming_mode_panics() {
+        let mut m = MemoryHierarchy::new(&small_config(1));
+        let mut last = u64::MAX;
+        m.warm_access_batch(0, &[0x40_0000], &[], &[], &[], 6, &mut last, 0);
     }
 
     #[test]

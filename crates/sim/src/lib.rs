@@ -54,7 +54,7 @@ pub use config::SystemConfig;
 pub use hybrid::{HybridSpec, SwapController, SwapPolicy};
 pub use model::{AnyMachine, CpuModel, ModelCheckpoint};
 pub use runner::{run, BaseModel, CoreModel, CoreSummary, SimSummary};
-pub use sampling::{run_sampled, SamplingEstimate, SamplingSpec};
+pub use sampling::{run_sampled, run_sampled_with_batch, SamplingEstimate, SamplingSpec};
 pub use scenario::{MachineSpec, Record, ScenarioSpec, SweepSpec};
 pub use serve::{Client, RunOutcome, ServeOptions, ServeStats, Server};
 pub use shard::{

@@ -5,7 +5,7 @@
 //! work on interval representativeness): partition the run into fixed-size
 //! **sampling units**, fast-forward most units *functionally* — streams
 //! advance and the long-lived state (branch tables, caches, TLBs) stays warm
-//! through [`iss_trace::fast_forward`], but no cycles are accounted — and
+//! through [`iss_trace::fast_forward_batched`], but no cycles are accounted — and
 //! run every k-th unit on a real **measurement model** (interval or
 //! detailed). Each measured unit opens with a warmup prefix executed on the
 //! measurement model but excluded from the sample, so transient
@@ -39,7 +39,15 @@
 //! Determinism: every decision here is driven by simulated state only
 //! (instruction counts, stream contents, synchronization outcomes), so a
 //! sampled run is bit-identical across `ISS_THREADS` settings, exactly like
-//! the plain and hybrid runs. Transitions reuse the
+//! the plain and hybrid runs. Warming itself executes in structure-of-arrays
+//! batches (`ISS_WARM_BATCH` instructions decoded per batch, 64 by default):
+//! [`iss_trace::fast_forward_batched`] fills an [`InstBatch`]'s columns, the
+//! hierarchy walks the batch's line-deduplicated I-side and data column in
+//! program order (`MemoryHierarchy::warm_access_batch`), and the branch unit
+//! replays the branch subset (`BranchUnit::update_batch`). Branch tables are
+//! per-core private and disjoint from the memory hierarchy, so hoisting the
+//! branch updates after the memory walk commutes, and every batch size —
+//! including the scalar-degenerate `1` — produces bit-identical records. Transitions reuse the
 //! [`ModelCheckpoint`] machinery from the hybrid subsystem — by *consuming*
 //! the machine ([`AnyMachine::into_lean_checkpoint`]), so no hierarchy or
 //! stream is ever cloned — and consecutive measured units keep the machine
@@ -51,7 +59,9 @@ use serde::{Deserialize, Serialize};
 
 use iss_branch::BranchUnit;
 use iss_mem::MemoryHierarchy;
-use iss_trace::{fast_forward, CheckpointStream, CoreResume, SyncController, ThreadedWorkload};
+use iss_trace::{
+    fast_forward_batched, CheckpointStream, CoreResume, InstBatch, SyncController, ThreadedWorkload,
+};
 
 use crate::config::SystemConfig;
 use crate::model::{AnyMachine, CpuModel, ModelCheckpoint};
@@ -388,10 +398,19 @@ struct FunctionalState {
     /// instruction, so DRAM reservations made while warming stay roughly
     /// contemporaneous with the resumed timing model.
     now: u64,
+    /// Reusable structure-of-arrays decode buffer: the fast-forwarder fills
+    /// its columns batch by batch, so no per-batch allocation survives on
+    /// the warming hot path.
+    batch: InstBatch,
 }
 
 impl FunctionalState {
-    fn fresh(config: &SystemConfig, streams: Vec<CheckpointStream>, sync: SyncController) -> Self {
+    fn fresh(
+        config: &SystemConfig,
+        streams: Vec<CheckpointStream>,
+        sync: SyncController,
+        warm_batch: usize,
+    ) -> Self {
         let num_cores = streams.len();
         let mut memory = MemoryHierarchy::new(&config.memory);
         memory.set_warming(true);
@@ -412,10 +431,11 @@ impl FunctionalState {
             ],
             last_iline: vec![u64::MAX; num_cores],
             now: 0,
+            batch: InstBatch::with_capacity(warm_batch),
         }
     }
 
-    fn from_checkpoint(ckpt: ModelCheckpoint, config: &SystemConfig) -> Self {
+    fn from_checkpoint(ckpt: ModelCheckpoint, config: &SystemConfig, warm_batch: usize) -> Self {
         let num_cores = ckpt.streams.len();
         let mut memory = ckpt.memory;
         memory.set_warming(true);
@@ -435,6 +455,7 @@ impl FunctionalState {
             per_core: ckpt.per_core,
             last_iline: vec![u64::MAX; num_cores],
             now: ckpt.machine_time,
+            batch: InstBatch::with_capacity(warm_batch),
         }
     }
 
@@ -458,29 +479,39 @@ impl FunctionalState {
     /// Fast-forwards up to `budget` instructions, warming branch tables and
     /// the memory hierarchy from every consumed instruction; returns the
     /// instructions consumed.
+    ///
+    /// Instructions are decoded into the structure-of-arrays [`InstBatch`]
+    /// and observed a batch at a time: the hierarchy replays the batch's
+    /// I-side (line-deduplicated, like the per-instruction path) and data
+    /// column in program order with each access stamped `now + position`,
+    /// then the branch unit replays the branch subset. The per-instruction
+    /// interleaving this reorders — branch update between I- and D-access —
+    /// touches disjoint state (branch tables are per-core private), so
+    /// every batch size yields bit-identical warm state and statistics.
     fn advance(&mut self, budget: u64) -> u64 {
         let memory = &mut self.memory;
         let branch = &mut self.branch;
         let last_iline = &mut self.last_iline;
         let mut now = self.now;
-        let consumed = fast_forward(
+        let consumed = fast_forward_batched(
             &mut self.streams,
             &mut self.sync,
             &mut self.per_core,
             budget,
-            &mut |core, inst| {
-                let line = inst.pc >> IFETCH_LINE_SHIFT;
-                if last_iline[core] != line {
-                    last_iline[core] = line;
-                    let _ = memory.access_instruction(core, inst.pc, now);
-                }
-                if let Some(info) = &inst.branch {
-                    let _ = branch[core].predict_and_update(inst.pc, info);
-                }
-                if let Some(mem) = &inst.mem {
-                    let _ = memory.access_data(core, mem.vaddr, mem.is_store, now);
-                }
-                now += 1;
+            &mut self.batch,
+            &mut |core, batch| {
+                memory.warm_access_batch(
+                    core,
+                    &batch.pc,
+                    &batch.mem_pos,
+                    &batch.mem_addr,
+                    &batch.mem_store,
+                    IFETCH_LINE_SHIFT,
+                    &mut last_iline[core],
+                    now,
+                );
+                branch[core].update_batch(&batch.br_pc, &batch.br_info);
+                now += batch.len() as u64;
             },
         );
         self.now = now;
@@ -495,6 +526,11 @@ impl FunctionalState {
 
 /// The machine as the sampling controller sees it: functionally maintained
 /// between samples, a live timing model inside (runs of) measured units.
+///
+/// Exactly one `Phase` exists per sampled run and it is rebuilt on every
+/// functional↔timed transition; boxing the larger variant would trade a
+/// stack move for a heap round-trip on that hot control path.
+#[allow(clippy::large_enum_variant)]
 enum Phase {
     Functional(FunctionalState),
     Timed(AnyMachine),
@@ -520,15 +556,47 @@ fn probe(machine: &AnyMachine, spec: SamplingSpec) -> (u64, u64, u64, Vec<(u64, 
 /// statistical estimate attached and the functional→timed transitions
 /// recorded as `swaps`).
 ///
+/// Functional warming runs in structure-of-arrays batches of
+/// `ISS_WARM_BATCH` instructions (64 by default); the batch size is a pure
+/// throughput knob — every value produces bit-identical records.
+///
 /// # Panics
 ///
-/// Panics when the spec is invalid (see [`SamplingSpec::validate`]).
+/// Panics when the spec is invalid (see [`SamplingSpec::validate`]) or
+/// `ISS_WARM_BATCH` is set to `0` or garbage (see
+/// [`crate::env::parse_warm_batch`]).
 #[must_use]
 pub fn run_sampled(
     spec: SamplingSpec,
     config: &SystemConfig,
     workload: ThreadedWorkload,
     label: String,
+) -> SimSummary {
+    run_sampled_with_batch(
+        spec,
+        config,
+        workload,
+        label,
+        crate::env::warm_batch_from_env(),
+    )
+}
+
+/// [`run_sampled`] with an explicit warming batch size instead of the
+/// `ISS_WARM_BATCH` environment variable — the deterministic injection seam
+/// the differential tests and benches use to compare batch sizes without
+/// mutating the process environment.
+///
+/// # Panics
+///
+/// Panics when the spec is invalid (see [`SamplingSpec::validate`]) or
+/// `warm_batch` is zero.
+#[must_use]
+pub fn run_sampled_with_batch(
+    spec: SamplingSpec,
+    config: &SystemConfig,
+    workload: ThreadedWorkload,
+    label: String,
+    warm_batch: usize,
 ) -> SimSummary {
     spec.validate()
         .unwrap_or_else(|e| panic!("invalid sampling spec: {e}"));
@@ -542,6 +610,7 @@ pub fn run_sampled(
             .map(CheckpointStream::fresh)
             .collect(),
         sync,
+        warm_batch,
     ));
 
     let mut unit: u64 = 0;
@@ -626,7 +695,7 @@ pub fn run_sampled(
             let t0 = HostTimer::start();
             let mut fs = match phase {
                 Phase::Timed(m) => {
-                    FunctionalState::from_checkpoint(m.into_lean_checkpoint(), config)
+                    FunctionalState::from_checkpoint(m.into_lean_checkpoint(), config, warm_batch)
                 }
                 Phase::Functional(fs) => fs,
             };

@@ -8,8 +8,6 @@
 //! and the detailed model to simulate *exactly the same* execution and makes
 //! the error figures meaningful.
 
-use std::collections::VecDeque;
-
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -91,6 +89,104 @@ const CODE_BASE: u64 = 0x0040_0000;
 /// produces (catalog means are 3.0–7.0, i.e. `geo_p` ≈ 0.14–0.33).
 const GEO_P_MIN: f64 = 1e-6;
 const GEO_P_MAX: f64 = 1.0 - 1e-6;
+/// Lower clamp applied to the uniform draw before the geometric inverse-CDF
+/// (`rng.gen::<f64>().max(GEO_U_MIN)`): keeps `ln(u)` finite. Also the lower
+/// end of the domain the threshold table must classify.
+const GEO_U_MIN: f64 = 1e-12;
+/// The dependence pools (`recent_int_dsts` / `recent_fp_dsts`) keep at most
+/// this many registers, so sampled distances beyond it all select index 0.
+const DEP_POOL_CAP: usize = 64;
+
+/// Fixed-capacity ring of recently written registers (the dependence pool).
+/// Semantically a `VecDeque<RegId>` under a push-back/evict-oldest cap of
+/// [`DEP_POOL_CAP`], but 128 bytes inline with no heap traffic: `alloc_dst`
+/// runs once per compute/load instruction and the deque's push + overflow-pop
+/// pair showed up on the generation hot path.
+#[derive(Debug, Clone)]
+struct RecentRing {
+    buf: [RegId; DEP_POOL_CAP],
+    /// Index of the oldest entry.
+    head: usize,
+    len: usize,
+}
+
+impl RecentRing {
+    fn new() -> Self {
+        RecentRing {
+            buf: [0; DEP_POOL_CAP],
+            head: 0,
+            len: 0,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Appends `r`, evicting the oldest entry once the pool is full — the
+    /// ring equivalent of `push_back` + `pop_front` past the cap.
+    fn push_capped(&mut self, r: RegId) {
+        if self.len < DEP_POOL_CAP {
+            let tail = (self.head + self.len) & (DEP_POOL_CAP - 1);
+            self.buf[tail] = r;
+            self.len += 1;
+        } else {
+            self.buf[self.head] = r;
+            self.head = (self.head + 1) & (DEP_POOL_CAP - 1);
+        }
+    }
+
+    /// The entry at logical index `idx` (0 = oldest), if present.
+    fn get(&self, idx: usize) -> Option<RegId> {
+        (idx < self.len).then(|| self.buf[(self.head + idx) & (DEP_POOL_CAP - 1)])
+    }
+}
+
+/// Capped geometric distance exactly as `pick_src` historically computed it:
+/// `ceil(ln(u) / ln(1 - geo_p))`, at least 1, saturated at [`DEP_POOL_CAP`]
+/// (the saturation is invisible to callers because the pool index is
+/// `len.saturating_sub(dist.min(len))` with `len <= DEP_POOL_CAP`).
+fn geo_dist_oracle(u: f64, geo_ln_denom: f64) -> usize {
+    let dist = (u.ln() / geo_ln_denom).ceil().max(1.0) as usize;
+    dist.min(DEP_POOL_CAP)
+}
+
+/// Finds, for every distance `k` in `1..=DEP_POOL_CAP`, the smallest `u` in
+/// `[GEO_U_MIN, 1.0)` with `geo_dist_oracle(u) <= k`, by bisection over f64
+/// bit patterns (positive f64s order identically as bits). The oracle is
+/// monotone non-increasing in `u`, so each boundary is exact: classifying a
+/// draw against the table reproduces the oracle bit-for-bit without the two
+/// `ln` calls per generated instruction.
+fn geo_dist_thresholds(geo_ln_denom: f64) -> [f64; DEP_POOL_CAP] {
+    let mut table = [GEO_U_MIN; DEP_POOL_CAP];
+    for (i, slot) in table.iter_mut().enumerate() {
+        let k = i + 1;
+        if geo_dist_oracle(GEO_U_MIN, geo_ln_denom) <= k {
+            continue; // every draw in the domain already lands at <= k
+        }
+        let mut lo = GEO_U_MIN.to_bits(); // oracle(lo) > k
+        let mut hi = 1.0f64.to_bits() - 1; // largest f64 < 1.0; oracle == 1
+        debug_assert!(geo_dist_oracle(f64::from_bits(hi), geo_ln_denom) <= k);
+        while hi - lo > 1 {
+            let mid = lo + (hi - lo) / 2;
+            if geo_dist_oracle(f64::from_bits(mid), geo_ln_denom) <= k {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+        }
+        *slot = f64::from_bits(hi);
+        // A non-monotone libm `ln` could in principle fool the bisection;
+        // pin the boundary exactly (one ulp below must classify above `k`).
+        debug_assert!(geo_dist_oracle(f64::from_bits(hi), geo_ln_denom) <= k);
+        debug_assert!(geo_dist_oracle(f64::from_bits(hi - 1), geo_ln_denom) > k);
+    }
+    table
+}
 /// Per-thread private data regions are spaced far apart so that different
 /// threads never alias in the caches (other than through the shared region).
 const THREAD_DATA_STRIDE: u64 = 1 << 40;
@@ -203,16 +299,33 @@ pub struct SyntheticStream {
     call_stack: Vec<usize>,
 
     // --- dependence state ---
-    recent_int_dsts: VecDeque<RegId>,
-    recent_fp_dsts: VecDeque<RegId>,
+    recent_int_dsts: RecentRing,
+    recent_fp_dsts: RecentRing,
     /// Destination register of the most recent load (for pointer chasing).
     last_load_dst: Option<RegId>,
     next_int_reg: RegId,
     next_fp_reg: RegId,
-    /// `ln(1 - 1/dep_distance_mean)`, hoisted out of the geometric sampling
-    /// in `pick_src` — it is constant per stream and `ln` is costly on a
-    /// path taken up to twice per generated instruction.
+    /// `ln(1 - 1/dep_distance_mean)`, the denominator of the inverse-CDF
+    /// geometric sampling in `pick_src`. Kept for the slow-path oracle; the
+    /// hot path classifies the uniform draw against `geo_thresholds` instead.
     geo_ln_denom: f64,
+    /// `geo_thresholds[k-1]` is the smallest draw `u` for which the oracle
+    /// `ceil(ln(u)/geo_ln_denom).max(1).min(64)` yields a distance `<= k`.
+    /// The oracle is monotone non-increasing in `u` (every step — `ln`,
+    /// division by a fixed negative, `ceil`, `max`, the saturating cast — is
+    /// monotone as computed), so the exact f64 boundaries exist and are found
+    /// once by bisection over bit patterns ([`geo_dist_thresholds`]). Turning
+    /// two `ln` calls per instruction into a 6-probe binary search is the
+    /// single largest win on the generation hot path, and it is bit-identical
+    /// because distances beyond 64 are indistinguishable from 64: the
+    /// dependence pools hold at most 64 registers and the index is
+    /// `len - dist.min(len)`.
+    geo_thresholds: [f64; 64],
+    /// Cumulative instruction-mix ladder (load, store, int_mul, int_div, fp,
+    /// fp_div, serializing), precomputed with the exact `acc += scale(x)`
+    /// sequence `next_inst` used to evaluate inline — the mix is constant per
+    /// stream, so the ~7 divisions per body instruction fold into constants.
+    mix_thresholds: [f64; 7],
 
     // --- data-address state ---
     stream_cursor: u64,
@@ -284,8 +397,31 @@ impl SyntheticStream {
         // rescue produced a denominator of ≈ -20.7 that collapsed *every*
         // dependence distance to 1 instead of mostly-1-sometimes-more.
         let geo_p = (1.0 / profile.dep_distance_mean.max(1.0)).clamp(GEO_P_MIN, GEO_P_MAX);
+        let geo_ln_denom = (1.0 - geo_p).ln();
+        // The cumulative mix ladder, evaluated with the exact expression
+        // sequence `next_inst` historically computed inline (same `acc`
+        // accumulation order, same clamp), so the thresholds — and therefore
+        // every emitted instruction — are bit-identical.
+        let mix = &profile.mix;
+        let scale = |x: f64| x / (1.0 - mix.branch).max(1e-9);
+        let mut mix_thresholds = [0.0f64; 7];
+        let mut acc = scale(mix.load);
+        mix_thresholds[0] = acc;
+        for (slot, class) in mix_thresholds[1..].iter_mut().zip([
+            mix.store,
+            mix.int_mul,
+            mix.int_div,
+            mix.fp,
+            mix.fp_div,
+            mix.serializing,
+        ]) {
+            acc += scale(class);
+            *slot = acc;
+        }
         SyntheticStream {
-            geo_ln_denom: (1.0 - geo_p).ln(),
+            geo_ln_denom,
+            geo_thresholds: geo_dist_thresholds(geo_ln_denom),
+            mix_thresholds,
             profile: profile.clone(),
             thread,
             rng,
@@ -296,8 +432,8 @@ impl SyntheticStream {
             current_block,
             block_pos: 0,
             call_stack: Vec::new(),
-            recent_int_dsts: VecDeque::with_capacity(64),
-            recent_fp_dsts: VecDeque::with_capacity(64),
+            recent_int_dsts: RecentRing::new(),
+            recent_fp_dsts: RecentRing::new(),
             last_load_dst: None,
             next_int_reg: 1,
             next_fp_reg: 33,
@@ -385,10 +521,7 @@ impl SyntheticStream {
             if self.next_fp_reg >= NUM_ARCH_REGS {
                 self.next_fp_reg = 33;
             }
-            self.recent_fp_dsts.push_back(r);
-            if self.recent_fp_dsts.len() > 64 {
-                self.recent_fp_dsts.pop_front();
-            }
+            self.recent_fp_dsts.push_capped(r);
             r
         } else {
             let r = self.next_int_reg;
@@ -396,10 +529,7 @@ impl SyntheticStream {
             if self.next_int_reg >= 32 {
                 self.next_int_reg = 1;
             }
-            self.recent_int_dsts.push_back(r);
-            if self.recent_int_dsts.len() > 64 {
-                self.recent_int_dsts.pop_front();
-            }
+            self.recent_int_dsts.push_capped(r);
             r
         }
     }
@@ -416,11 +546,17 @@ impl SyntheticStream {
         if pool.is_empty() {
             return None;
         }
-        // Sample a geometric distance (1-based).
-        let u: f64 = self.rng.gen::<f64>().max(1e-12);
-        let dist = (u.ln() / self.geo_ln_denom).ceil().max(1.0) as usize;
+        // Sample a geometric distance (1-based): classify the uniform draw
+        // against the precomputed inverse-CDF boundaries instead of paying
+        // `ln` per sample. `partition_point` counts the descending thresholds
+        // still above `u`; the last entry is `GEO_U_MIN`, so the count is
+        // always `< DEP_POOL_CAP` and `dist == count + 1` matches
+        // `geo_dist_oracle(u)` exactly (see [`geo_dist_thresholds`]).
+        let u: f64 = self.rng.gen::<f64>().max(GEO_U_MIN);
+        let dist = self.geo_thresholds.partition_point(|&t| u < t) + 1;
+        debug_assert_eq!(dist, geo_dist_oracle(u, self.geo_ln_denom));
         let idx = pool.len().saturating_sub(dist.min(pool.len()));
-        pool.get(idx).copied()
+        pool.get(idx)
     }
 
     fn gen_data_address(&mut self, in_critical_section: bool) -> (u64, bool) {
@@ -689,51 +825,32 @@ impl InstructionStream for SyntheticStream {
             if self.block_pos >= self.layout.block_body_len {
                 self.emit_branch(seq, pc)
             } else {
-                let mix = self.profile.mix;
                 let r: f64 = self.rng.gen();
                 // Branches are emitted structurally at block ends (one per
                 // block), so the body probability of every other class is
                 // inflated by 1/(1 - branch fraction); the remainder after all
-                // explicit classes is single-cycle integer ALU filler.
-                let scale = |x: f64| x / (1.0 - mix.branch).max(1e-9);
-                let mut acc = scale(mix.load);
-
-                if r < acc {
+                // explicit classes is single-cycle integer ALU filler. The
+                // cumulative thresholds are per-stream constants, precomputed
+                // at construction with the identical accumulation sequence.
+                let t = &self.mix_thresholds;
+                if r < t[0] {
                     self.emit_memory(seq, pc, false)
-                } else if r < {
-                    acc += scale(mix.store);
-                    acc
-                } {
+                } else if r < t[1] {
                     self.emit_memory(seq, pc, true)
-                } else if r < {
-                    acc += scale(mix.int_mul);
-                    acc
-                } {
+                } else if r < t[2] {
                     self.emit_compute(seq, pc, OpClass::IntMul)
-                } else if r < {
-                    acc += scale(mix.int_div);
-                    acc
-                } {
+                } else if r < t[3] {
                     self.emit_compute(seq, pc, OpClass::IntDiv)
-                } else if r < {
-                    acc += scale(mix.fp);
-                    acc
-                } {
+                } else if r < t[4] {
                     let op = if self.rng.gen::<bool>() {
                         OpClass::FpAlu
                     } else {
                         OpClass::FpMul
                     };
                     self.emit_compute(seq, pc, op)
-                } else if r < {
-                    acc += scale(mix.fp_div);
-                    acc
-                } {
+                } else if r < t[5] {
                     self.emit_compute(seq, pc, OpClass::FpDiv)
-                } else if r < {
-                    acc += scale(mix.serializing);
-                    acc
-                } {
+                } else if r < t[6] {
                     self.emit_serializing(seq, pc, None)
                 } else {
                     self.emit_compute(seq, pc, OpClass::IntAlu)
@@ -899,6 +1016,55 @@ mod tests {
     fn thread_out_of_range_panics() {
         let p = catalog::profile("gzip").unwrap();
         let _ = SyntheticStream::with_threads(&p, 2, 2, 0, 10);
+    }
+
+    /// The geometric threshold table must reproduce the `ln`-based oracle for
+    /// *every* representable draw, not just statistically: the table replaces
+    /// the oracle on the hot path and a single divergent classification would
+    /// change an emitted register and cascade through the golden records.
+    /// Exhaustive coverage comes from checking both sides of every bisected
+    /// boundary (the only places a divergence could hide, by monotonicity)
+    /// plus a dense random sweep as a belt-and-braces cross-check.
+    #[test]
+    fn geo_threshold_table_matches_ln_oracle() {
+        use rand::{Rng, SeedableRng};
+        // Catalog-realistic means plus the clamp extremes on both sides.
+        let means = [1.0, 1.5, 3.0, 4.0, 5.0, 7.0, 64.0, 1e7];
+        for mean in means {
+            let geo_p = (1.0 / f64::max(mean, 1.0)).clamp(GEO_P_MIN, GEO_P_MAX);
+            let denom = (1.0 - geo_p).ln();
+            let table = geo_dist_thresholds(denom);
+            let classify = |u: f64| table.partition_point(|&t| u < t) + 1;
+            for (i, &t) in table.iter().enumerate() {
+                let k = i + 1;
+                assert!(
+                    geo_dist_oracle(t, denom) <= k,
+                    "mean {mean}: threshold {k} classifies above itself"
+                );
+                assert_eq!(
+                    classify(t),
+                    geo_dist_oracle(t, denom),
+                    "mean {mean} at t[{i}]"
+                );
+                if t > GEO_U_MIN {
+                    let below = f64::from_bits(t.to_bits() - 1);
+                    assert!(
+                        geo_dist_oracle(below, denom) > k,
+                        "mean {mean}: threshold {k} is not the least such draw"
+                    );
+                    assert_eq!(classify(below), geo_dist_oracle(below, denom));
+                }
+            }
+            let mut rng = SmallRng::seed_from_u64(0xd157_u64 ^ mean.to_bits());
+            for _ in 0..200_000 {
+                let u: f64 = rng.gen::<f64>().max(GEO_U_MIN);
+                assert_eq!(
+                    classify(u),
+                    geo_dist_oracle(u, denom),
+                    "mean {mean}, u {u:e}"
+                );
+            }
+        }
     }
 
     #[test]

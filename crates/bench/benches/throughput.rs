@@ -5,12 +5,16 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use iss_branch::BranchUnit;
-use iss_mem::MemoryHierarchy;
+use iss_mem::tlb::TlbConfig;
+use iss_mem::{Cache, CacheConfig, LineState, MemoryHierarchy, Tlb};
 use iss_sim::batch::{run_batch_with_threads, SimJob};
 use iss_sim::config::SystemConfig;
 use iss_sim::runner::{run, CoreModel};
 use iss_sim::workload::WorkloadSpec;
-use iss_trace::{fast_forward_batched, BranchInfo, CheckpointStream, CoreResume, InstBatch};
+use iss_trace::{
+    catalog, fast_forward_batched, geo_classify, geo_classify_head, geo_threshold_table,
+    BranchInfo, CheckpointStream, CoreResume, InstBatch, GEO_U_MIN,
+};
 
 const BUDGET: u64 = 20_000;
 
@@ -179,6 +183,74 @@ fn batch_kernels(c: &mut Criterion) {
             for col in &cols {
                 unit.update_batch(&col.br_pc, &col.br_info);
             }
+        })
+    });
+
+    // Per-kernel rows below isolate the individual lane kernels the rows
+    // above compose, so a vectorization regression in one kernel is visible
+    // without untangling the full warming pass.
+    let mem_accesses: u64 = cols.iter().map(|col| col.mem_addr.len() as u64).sum();
+
+    group.throughput(Throughput::Elements(mem_accesses));
+    group.bench_function(BenchmarkId::new("tag_compare", "mcf"), |b| {
+        // L2 geometry (8 ways): the widest set-major tag compare in the
+        // hierarchy. Pre-inserting every harvested line makes the timed loop
+        // pure lookups (hits and capacity misses), which is the kernel the
+        // warming path leans on between insert-driven batch cuts.
+        let mut cache = Cache::new(&CacheConfig::l2_4m());
+        for col in &cols {
+            for &addr in &col.mem_addr {
+                cache.insert(addr, LineState::Exclusive);
+            }
+        }
+        let mut states = Vec::new();
+        b.iter(|| {
+            for col in &cols {
+                cache.access_batch(&col.mem_addr, &mut states);
+                std::hint::black_box(states.len());
+            }
+        })
+    });
+
+    group.bench_function(BenchmarkId::new("tlb_access_batch", "mcf"), |b| {
+        let mut tlb = Tlb::new(&TlbConfig::default_dtlb());
+        let mut latencies = Vec::new();
+        b.iter(|| {
+            for col in &cols {
+                tlb.access_batch(&col.mem_addr, &mut latencies);
+                std::hint::black_box(latencies.len());
+            }
+        })
+    });
+
+    const DRAWS: usize = 1 << 16;
+    group.throughput(Throughput::Elements(DRAWS as u64));
+    group.bench_function(BenchmarkId::new("threshold_scan", "mcf"), |b| {
+        // The generator's geometric dependence-distance draw: classify a
+        // block of clamped uniforms against the 64-entry inverse-CDF table,
+        // exactly as `SyntheticStream::pick_src` does once per generated
+        // instruction.
+        let profile = catalog::spec_profile("mcf").expect("mcf is in the catalog");
+        let table = geo_threshold_table(profile.dep_distance_mean);
+        let head = geo_classify_head(profile.dep_distance_mean);
+        let mut state = 0x9e37_79b9_7f4a_7c15u64;
+        let draws: Vec<f64> = (0..DRAWS)
+            .map(|_| {
+                // xorshift64*, mapped to a uniform in [0, 1) like the
+                // stream's RNG, then clamped like the pick_src draw.
+                state ^= state >> 12;
+                state ^= state << 25;
+                state ^= state >> 27;
+                let bits = state.wrapping_mul(0x2545_f491_4f6c_dd1d);
+                ((bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)).max(GEO_U_MIN)
+            })
+            .collect();
+        b.iter(|| {
+            let mut acc = 0usize;
+            for &u in &draws {
+                acc += geo_classify(&table, head, u);
+            }
+            std::hint::black_box(acc)
         })
     });
     group.finish();

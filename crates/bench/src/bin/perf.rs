@@ -13,6 +13,10 @@
 //! * the throughput of a tiny fixed reference kernel (pure integer work,
 //!   no simulator code) — the perf gate divides every MIPS number by it so
 //!   a slow or noisy host cancels out of the baseline comparison,
+//! * a `kernels` array: the four isolated lane kernels of the hot loops
+//!   (set-major tag compare, batched TLB translate, geometric threshold
+//!   scan, batched branch update) in MOPS on harvested columns — the perf
+//!   gate pins each as a host-normalized per-kernel floor,
 //! * the interval-vs-detailed simulation speedup,
 //! * wall-clock seconds per figure driver (these scale with `ISS_THREADS`).
 //!
@@ -29,13 +33,17 @@ use std::fmt::Write as _;
 
 use iss_bench::{PARSEC_QUICK, SPEC_QUICK};
 use iss_branch::BranchUnit;
-use iss_mem::MemoryHierarchy;
+use iss_mem::tlb::TlbConfig;
+use iss_mem::{Cache, CacheConfig, LineState, MemoryHierarchy, Tlb};
 use iss_sim::env::{configured_threads, scale_from_env};
 use iss_sim::experiments::{self, default_sampling_specs, ExperimentScale, Fig4Variant};
 use iss_sim::runner::CoreModel;
 use iss_sim::scenario::{ScenarioSpec, SweepSpec};
 use iss_sim::{SystemConfig, WorkloadSpec};
-use iss_trace::{fast_forward_batched, CheckpointStream, CoreResume, InstBatch};
+use iss_trace::{
+    catalog, fast_forward_batched, geo_classify, geo_classify_head, geo_threshold_table,
+    BranchInfo, CheckpointStream, CoreResume, InstBatch, GEO_U_MIN,
+};
 
 /// Single-thread throughput of one measured hot loop over the SPEC quick
 /// set (a core model, or the batched functional-warming path).
@@ -177,6 +185,149 @@ fn measure_warming(scale: ExperimentScale) -> ModelThroughput {
     best.unwrap_or_else(|| panic!("perf measured no warming runs"))
 }
 
+/// Throughput of one isolated batch kernel on harvested columns.
+struct KernelThroughput {
+    name: &'static str,
+    ops: u64,
+    host_seconds: f64,
+}
+
+impl KernelThroughput {
+    fn mops(&self) -> f64 {
+        if self.host_seconds <= 0.0 {
+            0.0
+        } else {
+            self.ops as f64 / self.host_seconds / 1e6
+        }
+    }
+}
+
+/// Passes over the harvested columns per kernel timing run: enough work
+/// (a few million kernel operations) that one scheduler hiccup cannot
+/// dominate the measurement.
+const KERNEL_PASSES: u64 = 32;
+
+/// Measures the four lane kernels behind the warming and interval hot
+/// loops in isolation, on the same realistic columns the `batch_kernels`
+/// criterion group uses: one benchmark decoded front to back at the
+/// warming batch size, its structure-of-arrays columns retained and
+/// replayed against fresh kernel state. The JSON rows these produce are
+/// what `perf_gate` pins as host-normalized per-kernel floors.
+fn measure_kernels(scale: ExperimentScale) -> Vec<KernelThroughput> {
+    // Harvest mcf's columns — the workload with the richest mix of memory
+    // and branch traffic in the quick set.
+    let config = SystemConfig::hpca2010_baseline(1);
+    let workload = WorkloadSpec::single("mcf", scale.spec_length)
+        .build(scale.seed)
+        .unwrap_or_else(|e| panic!("kernel harvest workload failed: {e}"));
+    let (raw, mut sync) = workload.into_parts();
+    let mut streams: Vec<CheckpointStream> = raw.into_iter().map(CheckpointStream::fresh).collect();
+    let mut per_core = vec![
+        CoreResume {
+            time: 0,
+            instructions: 0,
+            done: false,
+        };
+        streams.len()
+    ];
+    let mut batch = InstBatch::with_capacity(WARM_BATCH);
+    let mut mem_addr: Vec<Vec<u64>> = Vec::new();
+    let mut branches: Vec<(Vec<u64>, Vec<BranchInfo>)> = Vec::new();
+    fast_forward_batched(
+        &mut streams,
+        &mut sync,
+        &mut per_core,
+        u64::MAX,
+        &mut batch,
+        &mut |_, b: &InstBatch| {
+            mem_addr.push(b.mem_addr.clone());
+            branches.push((b.br_pc.clone(), b.br_info.clone()));
+        },
+    );
+    let accesses: u64 = mem_addr.iter().map(|c| c.len() as u64).sum();
+    let branch_ops: u64 = branches.iter().map(|(p, _)| p.len() as u64).sum();
+
+    // Best-of-N timing of `passes` replays of one closure.
+    let time_kernel = |name: &'static str, ops: u64, run: &mut dyn FnMut()| {
+        let mut best = f64::INFINITY;
+        for _ in 0..MEASUREMENT_RUNS {
+            let start = HostTimer::start();
+            for _ in 0..KERNEL_PASSES {
+                run();
+            }
+            best = best.min(start.elapsed_seconds());
+        }
+        KernelThroughput {
+            name,
+            ops: ops * KERNEL_PASSES,
+            host_seconds: best,
+        }
+    };
+
+    let mut kernels = Vec::new();
+
+    // Set-major tag compare: the widest cache in the hierarchy (the L2),
+    // pre-populated so the timed loop is pure lookups.
+    let mut l2 = Cache::new(&CacheConfig::l2_4m());
+    for col in &mem_addr {
+        for &a in col {
+            l2.insert(a, LineState::Exclusive);
+        }
+    }
+    let mut states = Vec::new();
+    kernels.push(time_kernel("tag_compare", accesses, &mut || {
+        for col in &mem_addr {
+            l2.access_batch(col, &mut states);
+            std::hint::black_box(states.len());
+        }
+    }));
+
+    // Batched TLB translate over the same address columns.
+    let mut tlb = Tlb::new(&TlbConfig::default_dtlb());
+    let mut latencies = Vec::new();
+    kernels.push(time_kernel("tlb_access_batch", accesses, &mut || {
+        for col in &mem_addr {
+            tlb.access_batch(col, &mut latencies);
+            std::hint::black_box(latencies.len());
+        }
+    }));
+
+    // The generator's geometric dependence-distance classify, on clamped
+    // uniforms like `SyntheticStream::pick_src` draws.
+    const DRAWS: usize = 1 << 16;
+    let profile = catalog::spec_profile("mcf").unwrap_or_else(|| panic!("mcf is in the catalog"));
+    let table = geo_threshold_table(profile.dep_distance_mean);
+    let head = geo_classify_head(profile.dep_distance_mean);
+    let mut state = 0x9e37_79b9_7f4a_7c15u64;
+    let draws: Vec<f64> = (0..DRAWS)
+        .map(|_| {
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            let bits = state.wrapping_mul(0x2545_f491_4f6c_dd1d);
+            ((bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)).max(GEO_U_MIN)
+        })
+        .collect();
+    kernels.push(time_kernel("threshold_scan", DRAWS as u64, &mut || {
+        let mut acc = 0usize;
+        for &u in &draws {
+            acc += geo_classify(&table, head, u);
+        }
+        std::hint::black_box(acc);
+    }));
+
+    // Batched branch-unit update over the harvested branch columns.
+    let config_branch = config.branch;
+    let mut unit = BranchUnit::new(&config_branch);
+    kernels.push(time_kernel("branch_update_batch", branch_ops, &mut || {
+        for (pcs, infos) in &branches {
+            unit.update_batch(pcs, infos);
+        }
+    }));
+
+    kernels
+}
+
 /// Iterations of the fixed reference kernel — sized for tens of
 /// milliseconds per run, long enough to average over scheduler jitter.
 const REFERENCE_ITERS: u64 = 1 << 26;
@@ -255,6 +406,7 @@ fn render_json(
     threads: usize,
     reference_mops: f64,
     models: &[ModelThroughput],
+    kernels: &[KernelThroughput],
     speedup: f64,
     drivers: &[DriverTiming],
 ) -> String {
@@ -278,6 +430,19 @@ fn render_json(
             m.host_seconds,
             m.mips(),
             if i + 1 < models.len() { "," } else { "" }
+        );
+    }
+    j.push_str("  ],\n");
+    j.push_str("  \"kernels\": [\n");
+    for (i, k) in kernels.iter().enumerate() {
+        let _ = writeln!(
+            j,
+            "    {{\"kernel\": \"{}\", \"ops\": {}, \"host_seconds\": {:.6}, \"mops\": {:.3}}}{}",
+            k.name,
+            k.ops,
+            k.host_seconds,
+            k.mops(),
+            if i + 1 < kernels.len() { "," } else { "" }
         );
     }
     j.push_str("  ],\n");
@@ -329,6 +494,7 @@ fn main() {
     .map(|m| measure_model(m, scale))
     .collect();
     models.push(measure_warming(scale));
+    let kernels = measure_kernels(scale);
     let reference_mops = measure_reference_kernel();
     for m in &models {
         println!(
@@ -337,6 +503,15 @@ fn main() {
             m.instructions,
             m.host_seconds,
             m.mips()
+        );
+    }
+    for k in &kernels {
+        println!(
+            "kernel {:<20} {:>12} ops {:>10.3}s {:>10.1} MOPS",
+            k.name,
+            k.ops,
+            k.host_seconds,
+            k.mops()
         );
     }
     println!("reference kernel: {reference_mops:.0} MOPS (host speed normalizer)");
@@ -366,7 +541,15 @@ fn main() {
         drivers
     };
 
-    let json = render_json(scale, threads, reference_mops, &models, speedup, &drivers);
+    let json = render_json(
+        scale,
+        threads,
+        reference_mops,
+        &models,
+        &kernels,
+        speedup,
+        &drivers,
+    );
     std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
     println!("wrote {out_path}");
 }

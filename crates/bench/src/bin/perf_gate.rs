@@ -12,6 +12,13 @@
 //! simulator regressions rather than host noise. Baselines written before
 //! the kernel existed fall back to the raw comparison.
 //!
+//! The same margin also gates the isolated lane kernels (`kernels` rows:
+//! tag compare, TLB batch, threshold scan, branch update) as
+//! host-normalized per-kernel floors, so a vectorized kernel cannot rot
+//! back to scalar speed while the end-to-end MIPS hides it. Baselines
+//! without kernel rows skip those floors until refreshed; a baseline with
+//! rows against a fresh run without them fails loudly.
+//!
 //! Usage:
 //!   perf_gate \[baseline\] \[fresh\] \[--max-regression-pct N\]
 //!
@@ -19,15 +26,27 @@
 
 use std::process::ExitCode;
 
-use iss_bench::gates::{diff_perf, parse_perf_models, parse_reference_kernel};
+use iss_bench::gates::{
+    diff_kernels, diff_perf, parse_perf_kernels, parse_perf_models, parse_reference_kernel,
+};
 
 const DEFAULT_BASELINE: &str = "ci/BENCH_baseline.json";
 const DEFAULT_FRESH: &str = "BENCH_interval.json";
 
-fn read_models(path: &str) -> Result<(Vec<iss_bench::gates::ModelMips>, Option<f64>), String> {
+type PerfFile = (
+    Vec<iss_bench::gates::ModelMips>,
+    Vec<iss_bench::gates::KernelMops>,
+    Option<f64>,
+);
+
+fn read_models(path: &str) -> Result<PerfFile, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let models = parse_perf_models(&text).map_err(|e| format!("cannot parse {path}: {e}"))?;
-    Ok((models, parse_reference_kernel(&text)))
+    Ok((
+        models,
+        parse_perf_kernels(&text),
+        parse_reference_kernel(&text),
+    ))
 }
 
 fn main() -> ExitCode {
@@ -51,7 +70,7 @@ fn main() -> ExitCode {
     let baseline_path = paths.first().map_or(DEFAULT_BASELINE, String::as_str);
     let fresh_path = paths.get(1).map_or(DEFAULT_FRESH, String::as_str);
 
-    let ((baseline, baseline_ref), (fresh, fresh_ref)) =
+    let ((baseline, baseline_kernels, baseline_ref), (fresh, fresh_kernels, fresh_ref)) =
         match (read_models(baseline_path), read_models(fresh_path)) {
             (Ok(b), Ok(f)) => (b, f),
             (b, f) => {
@@ -84,7 +103,27 @@ fn main() -> ExitCode {
             f.model, f.simulated_mips, base
         );
     }
-    let violations = diff_perf(&baseline, &fresh, baseline_ref, fresh_ref, max_regression);
+    if baseline_kernels.is_empty() {
+        println!("  no kernel floors in the baseline — refresh it to start pinning them");
+    }
+    for f in &fresh_kernels {
+        let base = baseline_kernels
+            .iter()
+            .find(|b| b.kernel == f.kernel)
+            .map_or(f64::NAN, |b| b.mops);
+        println!(
+            "  kernel {:<20} fresh {:>8.1} MOPS   baseline {:>8.1} MOPS",
+            f.kernel, f.mops, base
+        );
+    }
+    let mut violations = diff_perf(&baseline, &fresh, baseline_ref, fresh_ref, max_regression);
+    violations.extend(diff_kernels(
+        &baseline_kernels,
+        &fresh_kernels,
+        baseline_ref,
+        fresh_ref,
+        max_regression,
+    ));
     if violations.is_empty() {
         println!("perf gate: PASS");
         ExitCode::SUCCESS

@@ -404,6 +404,107 @@ pub fn diff_perf(
     violations
 }
 
+/// Throughput entry of one isolated batch kernel in a perf file.
+///
+/// These are the lane kernels behind the warming and interval hot loops
+/// (set-major tag compare, batched TLB translate, the geometric threshold
+/// scan, batched branch update), measured in million operations per second
+/// on realistic harvested columns. The perf gate pins each one the same
+/// way it pins the model MIPS rows: as a host-normalized ratio against the
+/// committed baseline, so a vectorized kernel cannot quietly rot back to
+/// scalar speed without failing CI.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelMops {
+    /// Kernel name (`tag_compare`, `tlb_access_batch`, `threshold_scan`,
+    /// `branch_update_batch`).
+    pub kernel: String,
+    /// Million kernel operations per host second.
+    pub mops: f64,
+}
+
+/// Parses the `kernels` entries of a perf file. Files written before the
+/// kernel rows existed have none; the empty list is the back-compat signal
+/// [`diff_kernels`] keys on.
+#[must_use]
+pub fn parse_perf_kernels(text: &str) -> Vec<KernelMops> {
+    text.lines()
+        .filter(|l| l.contains("\"kernel\"") && l.contains("\"mops\""))
+        .filter_map(|l| {
+            Some(KernelMops {
+                kernel: field_str(l, "kernel")?,
+                mops: field_num(l, "mops")?,
+            })
+        })
+        .collect()
+}
+
+/// Diffs a fresh run's kernel throughputs against the committed baseline,
+/// with the same host normalization as [`diff_perf`]: when both runs carry
+/// a reference-kernel entry, each kernel's MOPS is divided by its run's
+/// reference MOPS, so the floor is a ratio of simulator-kernel speed to
+/// host speed rather than a raw number some slower machine could never
+/// meet.
+///
+/// A baseline with no kernel entries predates the kernel rows: nothing is
+/// pinned and the diff is empty (refreshing the baseline starts enforcing
+/// the floors). A baseline *with* kernels against a fresh run without them
+/// is a violation — losing the measurement would silently retire the gate.
+#[must_use]
+pub fn diff_kernels(
+    baseline: &[KernelMops],
+    fresh: &[KernelMops],
+    baseline_ref: Option<f64>,
+    fresh_ref: Option<f64>,
+    max_regression: f64,
+) -> Vec<String> {
+    if baseline.is_empty() {
+        return Vec::new();
+    }
+    let mut violations = Vec::new();
+    if fresh.is_empty() {
+        violations.push(format!(
+            "baseline pins {} kernel floor(s) but the fresh run measured no kernels — \
+             the kernel gate would pass vacuously",
+            baseline.len()
+        ));
+    }
+    let (base_div, fresh_div, normalized) = match (baseline_ref, fresh_ref) {
+        (Some(b), Some(f)) if b > 0.0 && f > 0.0 => (b, f, true),
+        _ => (1.0, 1.0, false),
+    };
+    for b in baseline {
+        match fresh.iter().find(|f| f.kernel == b.kernel) {
+            None if fresh.is_empty() => {} // already reported above
+            None => violations.push(format!(
+                "kernel {}: present in the baseline but missing from the fresh run",
+                b.kernel
+            )),
+            Some(f) => {
+                let base_norm = b.mops / base_div;
+                let fresh_norm = f.mops / fresh_div;
+                let floor = base_norm * (1.0 - max_regression);
+                if fresh_norm < floor {
+                    let unit = if normalized {
+                        "normalized MOPS (kernel MOPS per reference MOPS)"
+                    } else {
+                        "MOPS"
+                    };
+                    violations.push(format!(
+                        "kernel {}: {:.4} {unit} is below the allowed floor {:.4} \
+                         (baseline {:.4}, max regression {:.0}%)",
+                        b.kernel,
+                        fresh_norm,
+                        floor,
+                        base_norm,
+                        max_regression * 100.0
+                    ));
+                }
+            }
+        }
+    }
+    violations
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -618,6 +719,84 @@ mod tests {
         }];
         assert!(!diff_perf(&baseline, &fresh, None, None, 0.25).is_empty());
         assert!(diff_perf(&baseline, &fresh, Some(1000.0), Some(400.0), 0.25).is_empty());
+    }
+
+    fn kernel_rows() -> Vec<KernelMops> {
+        vec![
+            KernelMops {
+                kernel: "tag_compare".into(),
+                mops: 350.0,
+            },
+            KernelMops {
+                kernel: "threshold_scan".into(),
+                mops: 290.0,
+            },
+        ]
+    }
+
+    #[test]
+    fn perf_file_parses_kernel_rows_and_tolerates_their_absence() {
+        let text = "{\n  \"schema\": \"iss-bench-perf/v1\",\n  \"kernels\": [\n    \
+                    {\"kernel\": \"tag_compare\", \"ops\": 2996000, \
+                    \"host_seconds\": 0.009, \"mops\": 351.2},\n    \
+                    {\"kernel\": \"tlb_access_batch\", \"ops\": 2996000, \
+                    \"host_seconds\": 0.017, \"mops\": 176.4}\n  ]\n}\n";
+        let kernels = parse_perf_kernels(text);
+        assert_eq!(kernels.len(), 2);
+        assert_eq!(kernels[0].kernel, "tag_compare");
+        assert!((kernels[1].mops - 176.4).abs() < 1e-9);
+        // Pre-kernel files simply have no rows — not a parse error.
+        assert!(parse_perf_kernels("{\n  \"schema\": \"iss-bench-perf/v1\"\n}\n").is_empty());
+    }
+
+    #[test]
+    fn injected_kernel_regression_fails_the_gate() {
+        let baseline = kernel_rows();
+        let mut fresh = kernel_rows();
+        fresh[1].mops = 140.0; // threshold_scan lost half its speed
+        let violations = diff_kernels(&baseline, &fresh, Some(800.0), Some(800.0), 0.25);
+        assert_eq!(violations.len(), 1);
+        assert!(
+            violations[0].contains("threshold_scan"),
+            "got: {violations:?}"
+        );
+        assert!(violations[0].contains("below the allowed floor"));
+    }
+
+    #[test]
+    fn kernel_gate_normalizes_host_speed_like_the_model_gate() {
+        let baseline = kernel_rows();
+        // Uniformly 40%-speed host: raw comparison would flag both kernels,
+        // the normalized one passes because the reference kernel slowed
+        // identically.
+        let fresh: Vec<KernelMops> = kernel_rows()
+            .into_iter()
+            .map(|k| KernelMops {
+                mops: k.mops * 0.4,
+                ..k
+            })
+            .collect();
+        assert!(!diff_kernels(&baseline, &fresh, None, None, 0.25).is_empty());
+        assert!(diff_kernels(&baseline, &fresh, Some(1000.0), Some(400.0), 0.25).is_empty());
+    }
+
+    #[test]
+    fn pre_kernel_baseline_skips_but_lost_measurement_fails() {
+        // Baseline without kernel rows: nothing pinned, gate is silent.
+        assert!(diff_kernels(&[], &kernel_rows(), Some(800.0), Some(800.0), 0.25).is_empty());
+        // Baseline with rows but a fresh run without them: loud failure,
+        // not a vacuous pass.
+        let violations = diff_kernels(&kernel_rows(), &[], Some(800.0), Some(800.0), 0.25);
+        assert_eq!(violations.len(), 1);
+        assert!(violations[0].contains("vacuously"), "got: {violations:?}");
+        // A single dropped kernel is flagged by name.
+        let partial = vec![kernel_rows().remove(0)];
+        let violations = diff_kernels(&kernel_rows(), &partial, Some(800.0), Some(800.0), 0.25);
+        assert_eq!(violations.len(), 1);
+        assert!(
+            violations[0].contains("threshold_scan") && violations[0].contains("missing"),
+            "got: {violations:?}"
+        );
     }
 
     #[test]

@@ -211,6 +211,10 @@ pub struct DependenceTracker {
     /// Poisoned register ids `>= 128` (only reachable from hand-built test
     /// instructions; empty for generated streams).
     poisoned_overflow: Vec<RegId>,
+    /// Line addresses written by instructions on the poisoned chain. Scanned
+    /// once per load visited by the overlap scan, so membership tests run as
+    /// a branchless lane compare ([`iss_simd::find_eq`]) over the contiguous
+    /// column.
     poisoned_lines: Vec<u64>,
 }
 
@@ -225,7 +229,9 @@ impl DependenceTracker {
         DependenceTracker {
             poisoned_mask: 0,
             poisoned_overflow: Vec::new(),
-            poisoned_lines: Vec::with_capacity(capacity),
+            // Rounded up to whole lanes so the line column's lane scans cover
+            // the window with no reallocation and at most one partial chunk.
+            poisoned_lines: Vec::with_capacity(capacity.next_multiple_of(iss_simd::LANE_WIDTH)),
         }
     }
 
@@ -280,7 +286,9 @@ impl DependenceTracker {
     pub fn depends_and_propagate(&mut self, inst: &DynInst) -> bool {
         let mut depends = inst.src_regs().any(|r| self.is_poisoned(r));
         if let Some(mem) = &inst.mem {
-            if !mem.is_store && self.poisoned_lines.contains(&(mem.vaddr >> LINE_SHIFT)) {
+            if !mem.is_store
+                && iss_simd::find_eq(&self.poisoned_lines, mem.vaddr >> LINE_SHIFT).is_some()
+            {
                 depends = true;
             }
         }
@@ -291,7 +299,7 @@ impl DependenceTracker {
             if let Some(mem) = &inst.mem {
                 if mem.is_store {
                     let line = mem.vaddr >> LINE_SHIFT;
-                    if !self.poisoned_lines.contains(&line) {
+                    if iss_simd::find_eq(&self.poisoned_lines, line).is_none() {
                         self.poisoned_lines.push(line);
                     }
                 }

@@ -124,3 +124,41 @@ proptest! {
         prop_assert_eq!(m.l1d_state(writer, addr), LineState::Modified);
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// `Tlb::access_batch` — including its same-page run-length batching —
+    /// leaves identical latencies, counters, residency and per-page
+    /// `contains` answers as the scalar `access` loop, for arbitrary
+    /// address sequences cut into arbitrary batch sizes. Addresses are drawn
+    /// from a small page range so long same-page runs, revisits and
+    /// capacity evictions all occur.
+    #[test]
+    fn tlb_batch_is_bit_identical_to_scalar(
+        pages in proptest::collection::vec(0u64..12, 1..300),
+        cut in 1usize..70,
+    ) {
+        let cfg = TlbConfig { entries: 4, page_bytes: 4096, miss_latency: 30 };
+        let addrs: Vec<u64> = pages
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| p * 4096 + (i as u64 * 37) % 4096)
+            .collect();
+        let mut scalar = Tlb::new(&cfg);
+        let expected: Vec<u64> = addrs.iter().map(|&a| scalar.access(a)).collect();
+        let mut batched = Tlb::new(&cfg);
+        let mut got = Vec::new();
+        let mut lat = Vec::new();
+        for chunk in addrs.chunks(cut) {
+            batched.access_batch(chunk, &mut lat);
+            got.extend_from_slice(&lat);
+        }
+        prop_assert_eq!(got, expected);
+        prop_assert_eq!(batched.stats(), scalar.stats());
+        prop_assert_eq!(batched.resident_entries(), scalar.resident_entries());
+        for &a in &addrs {
+            prop_assert_eq!(batched.contains(a), scalar.contains(a));
+        }
+    }
+}

@@ -512,8 +512,11 @@ pub fn try_cache_max_mb_from_env() -> Result<u64, String> {
 /// Default functional-warming batch size (see [`parse_warm_batch`]).
 ///
 /// 64 instructions amortize the per-batch column passes well while keeping
-/// the structure-of-arrays buffers inside the L1 data cache.
-pub const DEFAULT_WARM_BATCH: usize = 64;
+/// the structure-of-arrays buffers inside the L1 data cache. The default is
+/// expressed as a whole number of [`iss_simd::LANE_WIDTH`] lanes so the
+/// batched columns feed the lane kernels full chunks with no scalar tail
+/// (any batch size is bit-identical; lane-multiple sizes are just fastest).
+pub const DEFAULT_WARM_BATCH: usize = 8 * iss_simd::LANE_WIDTH;
 
 /// Parses an `ISS_WARM_BATCH` value into the functional-warming batch size.
 ///

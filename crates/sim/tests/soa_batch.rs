@@ -7,15 +7,20 @@
 //! suite pins that contract at three layers:
 //!
 //! 1. the memory hierarchy — scalar `access_instruction`/`access_data`
-//!    warming loop vs `warm_access_batch` at batch 1, 7 and 64:
+//!    warming loop vs `warm_access_batch` at batch 1, 3, 7, 13 and 64:
 //!    [`WarmthSummary`], full [`iss_mem::MemoryStats`] (including the
 //!    estimator's `latency_cycles` covariate) must be identical;
 //! 2. the branch unit — scalar `predict_and_update` loop vs `update_batch`:
 //!    identical statistics after training *and* after a shared probe phase
 //!    (probe outcomes depend on every table the training touched);
-//! 3. the sampled runner — `run_sampled_with_batch` at batch 1, 7 and 64
-//!    produces identical summaries, and driver records are unchanged when
-//!    `ISS_WARM_BATCH`/`ISS_THREADS` vary together.
+//! 3. the sampled runner — `run_sampled_with_batch` at batch 1, 7, 13 and
+//!    64 produces identical summaries, and driver records are unchanged
+//!    when `ISS_WARM_BATCH`/`ISS_THREADS` vary together.
+//!
+//! The batch sizes straddle `iss_simd::LANE_WIDTH` (8) on purpose: 1, 3
+//! and 7 exercise pure remainder-loop batches, 13 a full lane plus a
+//! remainder, and 64 whole-lane columns — so any lane kernel whose tail
+//! handling diverged from its vector body would split these cases.
 //!
 //! This is deliberately the *only* test in this binary: layer 3 mutates the
 //! process environment with `std::env::set_var`, which is unsound when other
@@ -255,7 +260,7 @@ fn soa_batched_paths_are_bit_identical_to_scalar() {
         scalar_latency > 0,
         "the reference run must exercise the miss path"
     );
-    for batch in [1usize, 7, 64] {
+    for batch in [1usize, 3, 7, 13, 64] {
         let batched = warm_batched(&config, &events, batch);
         assert_eq!(
             batched.warmth_summary(),
@@ -275,7 +280,7 @@ fn soa_batched_paths_are_bit_identical_to_scalar() {
         scalar_trained.mispredictions > 0,
         "the reference run must exercise misprediction paths"
     );
-    for batch in [1usize, 7, 64] {
+    for batch in [1usize, 3, 7, 13, 64] {
         let (trained, probed) = branch_batched(&config, &events, batch);
         assert_eq!(
             trained, scalar_trained,
@@ -314,7 +319,7 @@ fn soa_batched_paths_are_bit_identical_to_scalar() {
         };
         let reference = run(1);
         assert!(reference.contains("cycles="));
-        for batch in [7usize, 64] {
+        for batch in [7usize, 13, 64] {
             assert_eq!(
                 run(batch),
                 reference,

@@ -67,6 +67,10 @@ mod tests {
         let outer = HostTimer::start();
         std::hint::black_box((0..1000).sum::<u64>());
         let inner = HostTimer::start();
-        assert!(outer.elapsed_seconds() >= inner.elapsed_seconds());
+        // Sample the inner (shorter-lived) timer first: the outer reading
+        // then covers a strict superset of the inner interval, so the
+        // comparison cannot be raced by the gap between the two samples.
+        let inner_elapsed = inner.elapsed_seconds();
+        assert!(outer.elapsed_seconds() >= inner_elapsed);
     }
 }

@@ -53,7 +53,10 @@ pub use fxmap::{FxHashMap, FxHashSet};
 pub use host_time::HostTimer;
 pub use inst::{BranchClass, BranchInfo, DynInst, MemAccess, OpClass, RegId};
 pub use profile::{BranchBehavior, MemoryBehavior, MixWeights, SyncBehavior, WorkloadProfile};
-pub use stream::{InstructionStream, SyntheticStream};
+pub use stream::{
+    geo_classify, geo_classify_head, geo_threshold_table, InstructionStream, SyntheticStream,
+    DEP_POOL_CAP, GEO_U_MIN,
+};
 pub use sync::{SyncController, SyncOp};
 pub use threaded::ThreadedWorkload;
 

@@ -92,10 +92,11 @@ const GEO_P_MAX: f64 = 1.0 - 1e-6;
 /// Lower clamp applied to the uniform draw before the geometric inverse-CDF
 /// (`rng.gen::<f64>().max(GEO_U_MIN)`): keeps `ln(u)` finite. Also the lower
 /// end of the domain the threshold table must classify.
-const GEO_U_MIN: f64 = 1e-12;
+pub const GEO_U_MIN: f64 = 1e-12;
 /// The dependence pools (`recent_int_dsts` / `recent_fp_dsts`) keep at most
 /// this many registers, so sampled distances beyond it all select index 0.
-const DEP_POOL_CAP: usize = 64;
+/// Also the length of the [`geo_threshold_table`] classify tables.
+pub const DEP_POOL_CAP: usize = 64;
 
 /// Fixed-capacity ring of recently written registers (the dependence pool).
 /// Semantically a `VecDeque<RegId>` under a push-back/evict-oldest cap of
@@ -186,6 +187,85 @@ fn geo_dist_thresholds(geo_ln_denom: f64) -> [f64; DEP_POOL_CAP] {
         debug_assert!(geo_dist_oracle(f64::from_bits(hi - 1), geo_ln_denom) > k);
     }
     table
+}
+
+/// Builds the descending inverse-CDF threshold table for a geometric
+/// dependence-distance distribution with the given mean, applying the same
+/// `geo_p` clamping as [`SyntheticStream`] construction. Classifying a
+/// clamped uniform draw against the table via [`geo_classify`] reproduces
+/// `ceil(ln(u) / ln(1 - geo_p))` (capped at [`DEP_POOL_CAP`]) bit-for-bit
+/// without the per-draw `ln`.
+#[must_use]
+pub fn geo_threshold_table(dep_distance_mean: f64) -> [f64; DEP_POOL_CAP] {
+    let geo_p = (1.0 / dep_distance_mean.max(1.0)).clamp(GEO_P_MIN, GEO_P_MAX);
+    geo_dist_thresholds((1.0 - geo_p).ln())
+}
+
+/// Picks the branchless-head length [`geo_classify`] should use for a
+/// geometric distribution with the given mean: enough of the descending
+/// table to hold most of the probability mass, or zero (pure binary
+/// search) when the distribution is too spread out for a head to pay.
+///
+/// The cutoffs come from measurement on the reference host, best-of-5 over
+/// one million draws at each catalog mean: an 8-entry head wins 1.6x at
+/// mean 3 but loses 30% at mean 7 (the head misses too often and the
+/// mispredicted fallback branch eats the savings); a 16-entry head is the
+/// best middle ground near mean 5; above that nothing beats plain
+/// `partition_point`. The choice only affects speed, never results.
+#[must_use]
+pub fn geo_classify_head(dep_distance_mean: f64) -> usize {
+    if dep_distance_mean < 4.0 {
+        iss_simd::LANE_WIDTH
+    } else if dep_distance_mean < 6.0 {
+        2 * iss_simd::LANE_WIDTH
+    } else {
+        0
+    }
+}
+
+/// Classifies a clamped uniform draw `u` (at least [`GEO_U_MIN`], below 1.0)
+/// against a descending threshold table: returns the 1-based geometric
+/// distance, capped at `thresholds.len()`. This is the single copy of the
+/// classify logic shared by the generator hot path, the exhaustive boundary
+/// test, and the kernel benchmarks; `head` selects the speed strategy (use
+/// [`geo_classify_head`]) and never changes the result.
+///
+/// The table is descending and the predicate `u < t` is monotone along it,
+/// so the number of leading thresholds still above `u` (what
+/// `partition_point` finds by binary search) equals the *total* number of
+/// thresholds above `u`. A geometric table concentrates its probability
+/// mass in the first few entries, so the hot path counts the first `head`
+/// thresholds with a branchless lane scan ([`iss_simd::count_gt_f64`]) and
+/// answers directly when the draw lands inside — the common case — falling
+/// back to `partition_point` over the tail otherwise. Measured negative
+/// result, recorded so nobody re-learns it: counting the *whole* 64-entry
+/// table ("replace the binary search with one branchless scan") is
+/// slower than `partition_point`, whose cmov binary search is already
+/// branch-free; only the short-head hybrid wins.
+#[must_use]
+pub fn geo_classify(thresholds: &[f64], head: usize, u: f64) -> usize {
+    // Match on the two lane-sized heads so `count_gt_f64` inlines with a
+    // compile-time length and unrolls completely.
+    match head {
+        h if h == iss_simd::LANE_WIDTH && thresholds.len() >= h => {
+            classify_with_head::<8>(thresholds, u)
+        }
+        h if h == 2 * iss_simd::LANE_WIDTH && thresholds.len() >= h => {
+            classify_with_head::<16>(thresholds, u)
+        }
+        _ => thresholds.partition_point(|&t| u < t) + 1,
+    }
+}
+
+/// Fixed-head hybrid classify body shared by the [`geo_classify`] arms.
+fn classify_with_head<const H: usize>(thresholds: &[f64], u: f64) -> usize {
+    let n = iss_simd::count_gt_f64(&thresholds[..H], u);
+    if n < H {
+        return n + 1;
+    }
+    // All `H` head thresholds sit above the draw, so the answer lies in
+    // the tail; `H +` restores the global index.
+    H + thresholds[H..].partition_point(|&t| u < t) + 1
 }
 /// Per-thread private data regions are spaced far apart so that different
 /// threads never alias in the caches (other than through the shared region).
@@ -321,6 +401,9 @@ pub struct SyntheticStream {
     /// dependence pools hold at most 64 registers and the index is
     /// `len - dist.min(len)`.
     geo_thresholds: [f64; 64],
+    /// Branchless-head length for the classify, frozen per stream from the
+    /// profile mean by [`geo_classify_head`]; a speed strategy only.
+    geo_head: usize,
     /// Cumulative instruction-mix ladder (load, store, int_mul, int_div, fp,
     /// fp_div, serializing), precomputed with the exact `acc += scale(x)`
     /// sequence `next_inst` used to evaluate inline — the mix is constant per
@@ -421,6 +504,7 @@ impl SyntheticStream {
         SyntheticStream {
             geo_ln_denom,
             geo_thresholds: geo_dist_thresholds(geo_ln_denom),
+            geo_head: geo_classify_head(profile.dep_distance_mean),
             mix_thresholds,
             profile: profile.clone(),
             thread,
@@ -548,12 +632,12 @@ impl SyntheticStream {
         }
         // Sample a geometric distance (1-based): classify the uniform draw
         // against the precomputed inverse-CDF boundaries instead of paying
-        // `ln` per sample. `partition_point` counts the descending thresholds
-        // still above `u`; the last entry is `GEO_U_MIN`, so the count is
-        // always `< DEP_POOL_CAP` and `dist == count + 1` matches
-        // `geo_dist_oracle(u)` exactly (see [`geo_dist_thresholds`]).
+        // `ln` per sample. The last table entry is `GEO_U_MIN`, so the count
+        // of thresholds above `u` is always `< DEP_POOL_CAP` and
+        // `dist == count + 1` matches `geo_dist_oracle(u)` exactly (see
+        // [`geo_dist_thresholds`] and [`geo_classify`]).
         let u: f64 = self.rng.gen::<f64>().max(GEO_U_MIN);
-        let dist = self.geo_thresholds.partition_point(|&t| u < t) + 1;
+        let dist = geo_classify(&self.geo_thresholds, self.geo_head, u);
         debug_assert_eq!(dist, geo_dist_oracle(u, self.geo_ln_denom));
         let idx = pool.len().saturating_sub(dist.min(pool.len()));
         pool.get(idx)
@@ -1033,8 +1117,21 @@ mod tests {
         for mean in means {
             let geo_p = (1.0 / f64::max(mean, 1.0)).clamp(GEO_P_MIN, GEO_P_MAX);
             let denom = (1.0 - geo_p).ln();
-            let table = geo_dist_thresholds(denom);
-            let classify = |u: f64| table.partition_point(|&t| u < t) + 1;
+            let table = geo_threshold_table(mean);
+            assert_eq!(table, geo_dist_thresholds(denom), "builder mismatch");
+            // Every head strategy must classify identically — the chosen
+            // head (what the stream uses) plus all the others.
+            let classify = |u: f64| {
+                let want = geo_classify(&table, geo_classify_head(mean), u);
+                for head in [0, 8, 16] {
+                    assert_eq!(
+                        geo_classify(&table, head, u),
+                        want,
+                        "mean {mean} head {head} diverges at u {u:e}"
+                    );
+                }
+                want
+            };
             for (i, &t) in table.iter().enumerate() {
                 let k = i + 1;
                 assert!(

@@ -268,3 +268,30 @@ proptest! {
         );
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The geometric threshold classify is invariant in its `head` speed
+    /// knob and equal to its defining reference (`partition_point + 1`) for
+    /// every draw, every catalog-shaped mean, and every head the adaptive
+    /// selector can pick. This is the property that lets `SyntheticStream`
+    /// freeze the head per stream purely as a throughput decision.
+    #[test]
+    fn geo_classify_is_head_invariant(
+        mean_pm in 1_050u32..20_000,
+        u_pm in 0u64..1_000_000,
+    ) {
+        let mean = f64::from(mean_pm) / 1e3;
+        let table = iss_trace::geo_threshold_table(mean);
+        let u = (u_pm as f64 / 1e6).max(iss_trace::GEO_U_MIN);
+        let reference = table.partition_point(|&t| u < t) + 1;
+        for head in [0usize, 8, 16, iss_trace::geo_classify_head(mean)] {
+            prop_assert_eq!(
+                iss_trace::geo_classify(&table, head, u),
+                reference,
+                "head {} diverged at mean {} u {}", head, mean, u
+            );
+        }
+    }
+}
